@@ -1,0 +1,101 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Every table/figure binary accepts:
+//   --quick      scaled-down budgets/run counts (default; finishes on a
+//                single core in minutes)
+//   --full       the paper's budgets and repetition counts
+//   --runs N     override the repetition count
+//   --seed S     base RNG seed (run r uses S + r)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bo/result.h"
+#include "linalg/stats.h"
+
+namespace mfbo::bench {
+
+struct BenchConfig {
+  bool full = false;
+  std::size_t runs_override = 0;  // 0 = use mode default
+  std::uint64_t seed = 1000;
+
+  std::size_t runs(std::size_t quick_default, std::size_t full_default) const {
+    if (runs_override > 0) return runs_override;
+    return full ? full_default : quick_default;
+  }
+  double scale(double quick_value, double full_value) const {
+    return full ? full_value : quick_value;
+  }
+};
+
+inline BenchConfig parseArgs(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      cfg.full = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.full = false;
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      cfg.runs_override = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick|--full] [--runs N] [--seed S]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+/// Cost (equivalent high-fidelity simulations) at which the final best
+/// high-fidelity result was first attained — the paper's "Avg. # Sim"
+/// notion ("simulations required to reach the corresponding results").
+inline double costToReachBest(const bo::SynthesisResult& r) {
+  const auto best = bo::bestHighIndex(r.history);
+  if (!best) return r.equivalent_high_sims;
+  return r.history[*best].cumulative_cost;
+}
+
+/// Aggregated rows of one algorithm column in a results table.
+struct AlgoStats {
+  std::string name;
+  std::vector<double> objectives;    // best feasible objective per run
+  std::vector<double> reach_costs;   // cost to reach it per run
+  std::size_t successes = 0;         // runs that found a feasible design
+  std::size_t total_runs = 0;
+  bo::SynthesisResult median_result; // the run with the median objective
+
+  void add(const bo::SynthesisResult& r) {
+    ++total_runs;
+    if (r.feasible_found) ++successes;
+    objectives.push_back(r.best_eval.objective);
+    reach_costs.push_back(costToReachBest(r));
+    // Keep the run whose objective is currently the median (approximate:
+    // recompute by storing all would cost memory; keep best-so-far median
+    // by distance to running median).
+    if (total_runs == 1 ||
+        std::abs(r.best_eval.objective - linalg::median(objectives)) <=
+            std::abs(median_result.best_eval.objective -
+                     linalg::median(objectives)))
+      median_result = r;
+  }
+
+  linalg::RunSummary summary(bool lower_is_better) const {
+    return linalg::summarizeRuns(objectives, lower_is_better);
+  }
+  double avgSims() const { return linalg::mean(reach_costs); }
+};
+
+inline void printRule(int width = 72) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace mfbo::bench

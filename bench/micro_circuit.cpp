@@ -1,0 +1,82 @@
+// Micro-benchmarks (google-benchmark): the circuit-simulation substrate —
+// DC solves, PA transients at both fidelities, charge-pump corner sweeps,
+// and harmonic analysis.
+#include <benchmark/benchmark.h>
+
+#include "circuit/fft.h"
+#include "circuit/measure.h"
+#include "circuit/netlist.h"
+#include "circuit/pvt.h"
+#include "circuit/simulator.h"
+#include "problems/charge_pump.h"
+#include "problems/power_amplifier.h"
+
+namespace {
+
+using namespace mfbo;
+using namespace mfbo::circuit;
+
+void BM_DcMosfetBias(benchmark::State& state) {
+  Netlist n;
+  const NodeId vdd = n.node("vdd"), d = n.node("d"), g = n.node("g");
+  n.addVSource("vdd", vdd, kGround, Waveform::dc(3.0));
+  n.addVSource("vg", g, kGround, Waveform::dc(1.0));
+  n.addResistor("rd", vdd, d, 10e3);
+  MosfetParams p;
+  p.w = 10e-6;
+  p.l = 1e-6;
+  n.addMosfet("m1", d, g, kGround, p);
+  Simulator sim(n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim.dcOperatingPoint().converged);
+}
+BENCHMARK(BM_DcMosfetBias);
+
+void BM_PaTransient(benchmark::State& state) {
+  problems::PowerAmplifierProblem pa;
+  const bo::Vector x{6e-12, 2.3e-12, 4e-3, 1.8, 0.6};
+  const bo::Fidelity f = state.range(0) == 0 ? bo::Fidelity::kLow
+                                             : bo::Fidelity::kHigh;
+  for (auto _ : state) benchmark::DoNotOptimize(pa.simulate(x, f).eff);
+}
+BENCHMARK(BM_PaTransient)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ChargePumpEval(benchmark::State& state) {
+  problems::ChargePumpProblem cp;
+  const bo::Vector x = cp.referenceDesign();
+  const bo::Fidelity f = state.range(0) == 0 ? bo::Fidelity::kLow
+                                             : bo::Fidelity::kHigh;
+  for (auto _ : state) benchmark::DoNotOptimize(cp.simulate(x, f).fom);
+}
+BENCHMARK(BM_ChargePumpEval)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_HarmonicAnalysis(benchmark::State& state) {
+  const double f0 = 1e6, dt = 1.0 / (64.0 * f0);
+  std::vector<double> samples;
+  for (int i = 0; i <= 64 * 200; ++i) {
+    const double t = i * dt;
+    samples.push_back(std::sin(2 * M_PI * f0 * t) +
+                      0.2 * std::sin(2 * M_PI * 2 * f0 * t));
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        harmonicAnalysis(samples, dt, f0, 5)[1].magnitude);
+}
+BENCHMARK(BM_HarmonicAnalysis);
+
+void BM_FftRadix2(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = std::sin(0.1 * static_cast<double>(i));
+  for (auto _ : state) {
+    auto copy = data;
+    fftRadix2(copy);
+    benchmark::DoNotOptimize(copy[1]);
+  }
+}
+BENCHMARK(BM_FftRadix2)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

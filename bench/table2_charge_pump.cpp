@@ -1,0 +1,121 @@
+// Table 2 reproduction: charge-pump synthesis (36 variables, 27 PVT
+// corners), four algorithms.
+//
+// Paper setup (--full): Ours with a 300-equivalent-sim budget from
+// 30 low + 10 high initial points; WEIBO 120 init / 800 sims; GASPAD
+// 120 init / 2500 sims; DE 100 init / 10100 sims; 10 repetitions. The
+// quick default scales everything down for a single core.
+//
+// Rows mirror the paper's Table 2: the eq. (16) metrics of the median
+// design, FOM statistics, Avg. # Sim, and success counts.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bo/de_baseline.h"
+#include "bo/gaspad.h"
+#include "bo/mfbo.h"
+#include "bo/weibo.h"
+#include "problems/charge_pump.h"
+
+int main(int argc, char** argv) {
+  using namespace mfbo;
+  const bench::BenchConfig cfg = bench::parseArgs(argc, argv);
+  const std::size_t runs = cfg.runs(2, 10);
+
+  problems::ChargePumpProblem problem;
+
+  bo::MfboOptions mfbo_opt;
+  mfbo_opt.n_init_low = 30;
+  mfbo_opt.n_init_high = 10;
+  mfbo_opt.budget = cfg.scale(40, 300);
+  mfbo_opt.retrain_every = 3;
+  mfbo_opt.msp.n_starts = cfg.full ? 20 : 10;
+  mfbo_opt.msp.local.max_evaluations = cfg.full ? 150 : 80;
+  mfbo_opt.nargp.n_mc = cfg.full ? 100 : 40;
+
+  bo::WeiboOptions weibo_opt;
+  weibo_opt.n_init = cfg.full ? 120 : 40;
+  weibo_opt.max_sims = cfg.scale(80, 800);
+  weibo_opt.retrain_every = 3;
+  weibo_opt.msp.n_starts = mfbo_opt.msp.n_starts;
+  weibo_opt.msp.local.max_evaluations = mfbo_opt.msp.local.max_evaluations;
+
+  bo::GaspadOptions gaspad_opt;
+  gaspad_opt.n_init = cfg.full ? 120 : 50;
+  gaspad_opt.max_sims = cfg.scale(150, 2500);
+  gaspad_opt.retrain_every = 3;
+
+  bo::DeBaselineOptions de_opt;
+  de_opt.population = cfg.full ? 100 : 40;
+  de_opt.max_sims = cfg.scale(400, 10100);
+
+  bench::AlgoStats ours{"Ours"}, weibo{"WEIBO"}, gaspad{"GASPAD"}, de{"DE"};
+  std::fprintf(stderr, "table2: %zu runs (%s mode)\n", runs,
+               cfg.full ? "full" : "quick");
+  for (std::size_t r = 0; r < runs; ++r) {
+    const std::uint64_t seed = cfg.seed + 100 + r;
+    ours.add(bo::MfboSynthesizer(mfbo_opt).run(problem, seed));
+    std::fprintf(stderr, "  run %zu: ours done\n", r);
+    weibo.add(bo::Weibo(weibo_opt).run(problem, seed));
+    std::fprintf(stderr, "  run %zu: weibo done\n", r);
+    gaspad.add(bo::Gaspad(gaspad_opt).run(problem, seed));
+    std::fprintf(stderr, "  run %zu: gaspad done\n", r);
+    de.add(bo::DeBaseline(de_opt).run(problem, seed));
+    std::fprintf(stderr, "  run %zu: de done\n", r);
+  }
+
+  std::printf("# Table 2: optimization results of the charge pump\n");
+  std::printf("# %zu runs, %s budgets\n", runs, cfg.full ? "paper" : "quick");
+  const bench::AlgoStats* algos[4] = {&ours, &weibo, &gaspad, &de};
+
+  std::printf("%-14s", "Algo");
+  for (const auto* a : algos) std::printf("%12s", a->name.c_str());
+  std::printf("\n");
+  bench::printRule();
+
+  // eq. (16) metrics of the median design.
+  problems::CpPerformance med[4];
+  for (int i = 0; i < 4; ++i)
+    med[i] = problem.simulate(algos[i]->median_result.best_x,
+                              bo::Fidelity::kHigh);
+  const char* kMetricRows[5] = {"max_diff1", "max_diff2", "max_diff3",
+                                "max_diff4", "deviation"};
+  for (int row = 0; row < 5; ++row) {
+    std::printf("%-14s", kMetricRows[row]);
+    for (int i = 0; i < 4; ++i) {
+      const auto& p = med[i];
+      const double v = row == 0   ? p.max_diff1
+                       : row == 1 ? p.max_diff2
+                       : row == 2 ? p.max_diff3
+                       : row == 3 ? p.max_diff4
+                                  : p.deviation;
+      std::printf("%12.2f", v);
+    }
+    std::printf("\n");
+  }
+
+  const char* kFomRows[4] = {"mean", "median", "best", "worst"};
+  for (int row = 0; row < 4; ++row) {
+    std::printf("%-14s", kFomRows[row]);
+    for (const auto* a : algos) {
+      const auto s = a->summary(/*lower_is_better=*/true);
+      const double v = row == 0   ? s.mean
+                       : row == 1 ? s.median
+                       : row == 2 ? s.best
+                                  : s.worst;
+      std::printf("%12.2f", v);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-14s", "Avg. # Sim");
+  for (const auto* a : algos) std::printf("%12.1f", a->avgSims());
+  std::printf("\n%-14s", "# Success");
+  for (const auto* a : algos)
+    std::printf("%9zu/%zu", a->successes, a->total_runs);
+  std::printf("\n");
+  bench::printRule();
+  std::printf("# paper (full budgets): FOM mean Ours 3.99 / WEIBO 4.23 /\n"
+              "# GASPAD 4.22 / DE 5.88; Avg#Sim 158 / 458 / 2177 / 9499\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Op-amp synthesis: size a two-stage Miller OTA with multi-fidelity BO.
+//
+// Demonstrates the AC-analysis path of the circuit engine: the low
+// fidelity is textbook hand analysis at the DC operating point, the high
+// fidelity a full AC sweep. Maximize DC gain subject to UGF > 20 MHz,
+// PM > 60° and power < 1 mW.
+//
+// Usage: ./opamp_synthesis [budget] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bo/mfbo.h"
+#include "problems/opamp.h"
+
+int main(int argc, char** argv) {
+  using namespace mfbo;
+
+  const double budget = argc > 1 ? std::atof(argv[1]) : 30.0;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  problems::OpampProblem problem;
+
+  bo::MfboOptions options;
+  options.n_init_low = 20;
+  options.n_init_high = 6;
+  options.budget = budget;
+  options.retrain_every = 2;
+
+  std::printf("synthesizing two-stage op-amp (budget %.0f, seed %llu)...\n",
+              budget, static_cast<unsigned long long>(seed));
+  const bo::SynthesisResult r =
+      bo::MfboSynthesizer(options).run(problem, seed);
+
+  const auto perf = problem.simulate(r.best_x, bo::Fidelity::kHigh);
+  std::printf("\n=== best design ===\n");
+  static const char* kNames[10] = {"W_tail", "W_in",  "W_mirror", "W_out_n",
+                                   "W_out_p", "L_in", "L_mirror", "L_out",
+                                   "C_c",     "I_bias"};
+  for (int i = 0; i < 10; ++i) {
+    const double v = r.best_x[static_cast<std::size_t>(i)];
+    if (i < 8) {
+      std::printf("  %-9s = %7.2f um\n", kNames[i], v * 1e6);
+    } else if (i == 8) {
+      std::printf("  %-9s = %7.2f pF\n", kNames[i], v * 1e12);
+    } else {
+      std::printf("  %-9s = %7.2f uA\n", kNames[i], v * 1e6);
+    }
+  }
+  std::printf("\n=== measured (full AC) ===\n");
+  std::printf("  gain  = %.2f dB\n", perf.gain_db);
+  std::printf("  UGF   = %.2f MHz (spec > %.0f)\n", perf.ugf_hz / 1e6,
+              problems::OpampProblem::kMinUgfMhz);
+  std::printf("  PM    = %.2f deg (spec > %.0f)\n", perf.pm_deg,
+              problems::OpampProblem::kMinPmDeg);
+  std::printf("  power = %.3f mW (spec < %.1f)\n", perf.power_mw,
+              problems::OpampProblem::kMaxPowerMw);
+  std::printf("  feasible: %s\n", r.feasible_found ? "yes" : "no");
+  std::printf("\ncost: %zu low + %zu high = %.1f equivalent sims\n", r.n_low,
+              r.n_high, r.equivalent_high_sims);
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "bo/acquisition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/stats.h"
+
+namespace mfbo::bo {
+
+double expectedImprovement(const Prediction& p, double tau) {
+  const double sd = p.sd();
+  if (sd < 1e-12) return std::max(0.0, tau - p.mean);
+  const double lambda = (tau - p.mean) / sd;
+  return sd * (lambda * linalg::normalCdf(lambda) + linalg::normalPdf(lambda));
+}
+
+double probabilityOfFeasibility(const Prediction& p) {
+  const double sd = p.sd();
+  if (sd < 1e-12) return p.mean < 0.0 ? 1.0 : 0.0;
+  return linalg::normalCdf(-p.mean / sd);
+}
+
+double weightedEi(const Prediction& objective, double tau,
+                  const std::vector<Prediction>& constraints) {
+  double acq = expectedImprovement(objective, tau);
+  for (const Prediction& c : constraints) acq *= probabilityOfFeasibility(c);
+  return acq;
+}
+
+double lowerConfidenceBound(const Prediction& p, double kappa) {
+  return p.mean - kappa * p.sd();
+}
+
+double upperConfidenceBound(const Prediction& p, double kappa) {
+  return p.mean + kappa * p.sd();
+}
+
+double predictedViolation(const std::vector<Prediction>& constraints) {
+  double acc = 0.0;
+  for (const Prediction& c : constraints) acc += std::max(0.0, c.mean);
+  return acc;
+}
+
+}  // namespace mfbo::bo

@@ -1,0 +1,41 @@
+// mfbo::bo — acquisition functions (paper §2.4).
+//
+// Scalar building blocks over posterior (µ, σ²) pairs:
+//  * expectedImprovement — eq. (5)
+//  * probabilityOfFeasibility — PF_i = Φ(−µ_i/σ_i)
+//  * weightedEi — eq. (6), EI × Π PF_i
+//  * lowerConfidenceBound — the LCB used by the GASPAD baseline
+//  * upperConfidenceBound — provided for completeness (§2.4 mentions UCB)
+#pragma once
+
+#include <vector>
+
+#include "gp/gp_regressor.h"
+
+namespace mfbo::bo {
+
+using gp::Prediction;
+
+/// Expected improvement of a minimization objective below incumbent @p tau
+/// (eq. 5). Degenerates gracefully to max(0, τ−µ) as σ → 0.
+double expectedImprovement(const Prediction& p, double tau);
+
+/// Probability that a constraint posterior satisfies c(x) < 0:
+/// PF = Φ(−µ/σ). Degenerates to the indicator µ < 0 as σ → 0.
+double probabilityOfFeasibility(const Prediction& p);
+
+/// Weighted expected improvement (eq. 6): EI(objective) × Π_i PF(c_i).
+double weightedEi(const Prediction& objective, double tau,
+                  const std::vector<Prediction>& constraints);
+
+/// µ − κ·σ; smaller is more promising for minimization (GASPAD's ranking).
+double lowerConfidenceBound(const Prediction& p, double kappa);
+
+/// µ + κ·σ.
+double upperConfidenceBound(const Prediction& p, double kappa);
+
+/// First-feasible search objective (eq. 13): Σ_i max(0, µ_i) over the
+/// constraint posteriors. Zero inside the predicted-feasible region.
+double predictedViolation(const std::vector<Prediction>& constraints);
+
+}  // namespace mfbo::bo

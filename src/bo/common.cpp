@@ -1,0 +1,160 @@
+#include "bo/common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mfbo::bo {
+
+std::optional<std::size_t> Dataset::bestFeasible() const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    if (!evals[i].feasible()) continue;
+    if (!best || evals[i].objective < evals[*best].objective) best = i;
+  }
+  return best;
+}
+
+std::size_t Dataset::bestByMerit() const {
+  if (evals.empty()) throw std::logic_error("Dataset::bestByMerit: empty");
+  if (const auto feasible = bestFeasible()) return *feasible;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < evals.size(); ++i)
+    if (evals[i].totalViolation() < evals[best].totalViolation()) best = i;
+  return best;
+}
+
+std::vector<double> Dataset::objectives() const {
+  std::vector<double> out(evals.size());
+  for (std::size_t i = 0; i < evals.size(); ++i) out[i] = evals[i].objective;
+  return out;
+}
+
+std::vector<double> Dataset::constraintColumn(std::size_t i) const {
+  std::vector<double> out(evals.size());
+  for (std::size_t k = 0; k < evals.size(); ++k) {
+    if (i >= evals[k].constraints.size())
+      throw std::out_of_range("Dataset::constraintColumn");
+    out[k] = evals[k].constraints[i];
+  }
+  return out;
+}
+
+double Dataset::minDistance(const Vector& point) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Vector& xi : x) best = std::min(best, (xi - point).norm());
+  return best;
+}
+
+Vector maximizeAcquisitionMsp(const opt::ScalarObjective& acquisition,
+                              const Box& box,
+                              const std::optional<Vector>& incumbent_l,
+                              const std::optional<Vector>& incumbent_h,
+                              const MspOptions& options, Rng& rng,
+                              const std::vector<Vector>& extra_starts) {
+  // Partition starts into (random, around τ_l, around τ_h).
+  std::size_t n_tau_l =
+      incumbent_l ? static_cast<std::size_t>(
+                        std::round(options.frac_tau_l *
+                                   static_cast<double>(options.n_starts)))
+                  : 0;
+  std::size_t n_tau_h =
+      incumbent_h ? static_cast<std::size_t>(
+                        std::round(options.frac_tau_h *
+                                   static_cast<double>(options.n_starts)))
+                  : 0;
+  const std::size_t n_random =
+      options.n_starts > n_tau_l + n_tau_h
+          ? options.n_starts - n_tau_l - n_tau_h
+          : 1;
+
+  std::vector<Vector> incumbents;
+  std::vector<std::size_t> counts;
+  if (incumbent_l) {
+    incumbents.push_back(*incumbent_l);
+    counts.push_back(n_tau_l);
+  }
+  if (incumbent_h) {
+    incumbents.push_back(*incumbent_h);
+    counts.push_back(n_tau_h);
+  }
+  std::vector<Vector> starts = opt::composeStarts(
+      n_random, incumbents, counts, options.relative_sd, box, rng);
+  for (const Vector& s : extra_starts) starts.push_back(box.clamp(s));
+
+  // Minimize the negated acquisition from every start.
+  opt::ScalarObjective negated = [&acquisition](const Vector& x) {
+    return -acquisition(x);
+  };
+  opt::MultistartOptions ms;
+  ms.local = options.local;
+  const opt::OptResult r = opt::multistartMinimize(negated, starts, box, ms);
+  return r.x;
+}
+
+Vector minimizeCriterionMsp(const opt::ScalarObjective& criterion,
+                            const Box& box, std::size_t n_starts,
+                            const opt::NelderMeadOptions& local, Rng& rng) {
+  std::vector<Vector> starts =
+      linalg::latinHypercube(std::max<std::size_t>(n_starts, 1), box, rng);
+  opt::MultistartOptions ms;
+  ms.local = local;
+  return opt::multistartMinimize(criterion, starts, box, ms).x;
+}
+
+Vector dedupeCandidate(Vector candidate, const Dataset& data, const Box& box,
+                       Rng& rng, double min_dist) {
+  constexpr int kMaxTries = 16;
+  double sd = 1e-4;
+  for (int attempt = 0;
+       attempt < kMaxTries && data.minDistance(candidate) < min_dist;
+       ++attempt, sd *= 2.0) {
+    candidate = linalg::gaussianJitterInBox(candidate, sd, box, rng);
+  }
+  return candidate;
+}
+
+SynthesisResult finalizeResult(std::vector<HistoryEntry> history,
+                               const CostTracker& tracker) {
+  SynthesisResult result;
+  result.n_low = tracker.numLow();
+  result.n_high = tracker.numHigh();
+  result.equivalent_high_sims = tracker.cost();
+  if (const auto best = bestHighIndex(history)) {
+    result.best_x = history[*best].x;
+    result.best_eval = history[*best].eval;
+    result.feasible_found = history[*best].eval.feasible();
+  }
+  result.history = std::move(history);
+  return result;
+}
+
+std::optional<std::size_t> bestHighIndex(
+    const std::vector<HistoryEntry>& history) {
+  std::optional<std::size_t> best;
+  bool best_feasible = false;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (history[i].fidelity != Fidelity::kHigh) continue;
+    const Evaluation& e = history[i].eval;
+    const bool feasible = e.feasible();
+    if (!best) {
+      best = i;
+      best_feasible = feasible;
+      continue;
+    }
+    const Evaluation& b = history[*best].eval;
+    if (feasible && !best_feasible) {
+      best = i;
+      best_feasible = true;
+    } else if (feasible == best_feasible) {
+      const bool better = feasible
+                              ? e.objective < b.objective
+                              : e.totalViolation() < b.totalViolation();
+      if (better) best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace mfbo::bo

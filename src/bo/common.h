@@ -1,0 +1,100 @@
+// mfbo::bo — shared machinery for the synthesis algorithms: evaluation
+// archives, cost accounting, and the §4.1 multiple-starting-point
+// acquisition maximizer.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bo/problem.h"
+#include "bo/result.h"
+#include "linalg/rng.h"
+#include "opt/multistart.h"
+
+namespace mfbo::bo {
+
+using linalg::Rng;
+
+/// Archive of evaluated points for one fidelity level. Inputs are stored in
+/// normalized unit-cube coordinates (the GPs see exactly these).
+struct Dataset {
+  std::vector<Vector> x;
+  std::vector<Evaluation> evals;
+
+  std::size_t size() const { return x.size(); }
+  void add(Vector point, Evaluation eval) {
+    x.push_back(std::move(point));
+    evals.push_back(std::move(eval));
+  }
+
+  /// Index of the feasible entry with the smallest objective, if any.
+  std::optional<std::size_t> bestFeasible() const;
+  /// Feasible-first ranking: best feasible if one exists, otherwise the
+  /// entry with the smallest total violation. Requires non-empty.
+  std::size_t bestByMerit() const;
+  /// Objective column.
+  std::vector<double> objectives() const;
+  /// i-th constraint column.
+  std::vector<double> constraintColumn(std::size_t i) const;
+  /// Smallest distance from @p point to any stored input (∞ when empty).
+  double minDistance(const Vector& point) const;
+};
+
+/// Equivalent-high-fidelity-simulation cost meter.
+class CostTracker {
+ public:
+  explicit CostTracker(double cost_ratio) : ratio_(cost_ratio) {}
+  void charge(Fidelity f) {
+    cost_ += f == Fidelity::kHigh ? 1.0 : 1.0 / ratio_;
+    (f == Fidelity::kHigh ? n_high_ : n_low_) += 1;
+  }
+  double cost() const { return cost_; }
+  std::size_t numLow() const { return n_low_; }
+  std::size_t numHigh() const { return n_high_; }
+
+ private:
+  double ratio_;
+  double cost_ = 0.0;
+  std::size_t n_low_ = 0;
+  std::size_t n_high_ = 0;
+};
+
+/// §4.1 multiple-starting-point settings. The defaults mirror the paper:
+/// 10% of starts scattered around τ_l, 40% around τ_h, the rest random.
+struct MspOptions {
+  std::size_t n_starts = 20;
+  double frac_tau_l = 0.1;
+  double frac_tau_h = 0.4;
+  double relative_sd = 0.05;  ///< scatter sd relative to box width
+  opt::NelderMeadOptions local{.max_evaluations = 150, .initial_step = 0.05};
+};
+
+/// Maximize a deterministic acquisition over @p box with MSP. Starts are
+/// composed of LHS samples, Gaussian scatter around the optional τ_l / τ_h
+/// incumbents (with the configured fractions), and any @p extra_starts
+/// (used by Algorithm 1 step 6 to seed the high-fidelity search with x*_l).
+/// Returns the best point found; never fails.
+Vector maximizeAcquisitionMsp(const opt::ScalarObjective& acquisition,
+                              const Box& box,
+                              const std::optional<Vector>& incumbent_l,
+                              const std::optional<Vector>& incumbent_h,
+                              const MspOptions& options, Rng& rng,
+                              const std::vector<Vector>& extra_starts = {});
+
+/// Minimize a scalar criterion (e.g. the eq. 13 violation) with plain MSP
+/// (no incumbent scatter). Returns the best point found.
+Vector minimizeCriterionMsp(const opt::ScalarObjective& criterion,
+                            const Box& box, std::size_t n_starts,
+                            const opt::NelderMeadOptions& local, Rng& rng);
+
+/// Nudge @p candidate away from existing points when it (numerically)
+/// duplicates one — duplicated inputs make GP Gram matrices singular.
+Vector dedupeCandidate(Vector candidate, const Dataset& data, const Box& box,
+                       Rng& rng, double min_dist = 1e-8);
+
+/// Assemble the final SynthesisResult from a history: picks the best
+/// high-fidelity entry (feasible-first), fills counters from the tracker.
+SynthesisResult finalizeResult(std::vector<HistoryEntry> history,
+                               const CostTracker& tracker);
+
+}  // namespace mfbo::bo

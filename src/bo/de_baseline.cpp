@@ -1,0 +1,67 @@
+#include "bo/de_baseline.h"
+
+#include <algorithm>
+
+namespace mfbo::bo {
+
+namespace {
+
+/// Deb's feasibility rules: does @p a beat (or tie) @p b?
+bool dominatesByDeb(const Evaluation& a, const Evaluation& b) {
+  const bool fa = a.feasible(), fb = b.feasible();
+  if (fa != fb) return fa;
+  if (fa) return a.objective <= b.objective;
+  return a.totalViolation() <= b.totalViolation();
+}
+
+}  // namespace
+
+SynthesisResult DeBaseline::run(Problem& problem, std::uint64_t seed) const {
+  const std::size_t d = problem.dim();
+  const Box box = problem.bounds();
+  Rng rng(seed);
+
+  CostTracker tracker(problem.costRatio());
+  std::vector<HistoryEntry> history;
+
+  auto evaluate = [&](const Vector& x) {
+    Evaluation eval = problem.evaluate(x, Fidelity::kHigh);
+    tracker.charge(Fidelity::kHigh);
+    history.push_back({x, eval, Fidelity::kHigh, tracker.cost()});
+    return history.back().eval;
+  };
+  auto budget_left = [&] {
+    return tracker.cost() + 1.0 <= options_.max_sims + 1e-9;
+  };
+
+  const std::size_t np = std::max<std::size_t>(options_.population, 4);
+  std::vector<Vector> pop = linalg::latinHypercube(np, box, rng);
+  std::vector<Evaluation> evals(np);
+  for (std::size_t i = 0; i < np && budget_left(); ++i)
+    evals[i] = evaluate(pop[i]);
+
+  while (budget_left()) {
+    for (std::size_t i = 0; i < np && budget_left(); ++i) {
+      const auto picks = rng.distinctIndices(3, np, i);
+      const Vector& a = pop[picks[0]];
+      const Vector& b = pop[picks[1]];
+      const Vector& c = pop[picks[2]];
+      Vector trial = pop[i];
+      const std::size_t forced = rng.index(d);
+      for (std::size_t j = 0; j < d; ++j) {
+        if (j == forced || rng.uniform() < options_.crossover)
+          trial[j] = a[j] + options_.differential * (b[j] - c[j]);
+      }
+      trial = box.clamp(std::move(trial));
+      const Evaluation trial_eval = evaluate(trial);
+      if (dominatesByDeb(trial_eval, evals[i])) {
+        pop[i] = std::move(trial);
+        evals[i] = trial_eval;
+      }
+    }
+  }
+
+  return finalizeResult(std::move(history), tracker);
+}
+
+}  // namespace mfbo::bo

@@ -1,0 +1,34 @@
+// mfbo::bo — plain differential-evolution baseline (the paper's "DE",
+// standing in for the hybrid EA of Liu et al. 2009).
+//
+// DE/rand/1/bin on the real design box with Deb's feasibility rules for
+// selection: feasible beats infeasible, feasible compares by objective,
+// infeasible compares by total violation. Every candidate costs one
+// high-fidelity simulation.
+#pragma once
+
+#include "bo/common.h"
+
+namespace mfbo::bo {
+
+struct DeBaselineOptions {
+  std::size_t population = 50;
+  double max_sims = 300.0;   ///< simulation budget including initialization
+  double differential = 0.7;
+  double crossover = 0.8;
+};
+
+class DeBaseline {
+ public:
+  explicit DeBaseline(DeBaselineOptions options = {}) : options_(options) {}
+
+  /// Run one synthesis. Deterministic given (problem, seed).
+  SynthesisResult run(Problem& problem, std::uint64_t seed) const;
+
+  const DeBaselineOptions& options() const { return options_; }
+
+ private:
+  DeBaselineOptions options_;
+};
+
+}  // namespace mfbo::bo

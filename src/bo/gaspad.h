@@ -1,0 +1,40 @@
+// mfbo::bo — GASPAD baseline (Liu et al. 2014): surrogate-assisted
+// evolutionary search with lower-confidence-bound pre-screening.
+//
+// Each generation, a differential-evolution operator produces a batch of
+// candidate children from the current elite population; GP posteriors rank
+// the children by an optimistic (LCB) feasibility-first merit; only the
+// single most promising child is actually simulated.
+#pragma once
+
+#include "bo/common.h"
+#include "gp/gp_regressor.h"
+
+namespace mfbo::bo {
+
+struct GaspadOptions {
+  std::size_t n_init = 40;      ///< initial LHS design
+  double max_sims = 300.0;      ///< simulation budget including init
+  double kappa = 2.0;           ///< LCB width
+  std::size_t population = 20;  ///< elite parents per generation
+  std::size_t children = 30;    ///< DE children screened per generation
+  double differential = 0.7;    ///< DE F
+  double crossover = 0.8;       ///< DE CR
+  gp::GpConfig gp;
+  std::size_t retrain_every = 1;
+};
+
+class Gaspad {
+ public:
+  explicit Gaspad(GaspadOptions options = {}) : options_(options) {}
+
+  /// Run one synthesis. Deterministic given (problem, seed).
+  SynthesisResult run(Problem& problem, std::uint64_t seed) const;
+
+  const GaspadOptions& options() const { return options_; }
+
+ private:
+  GaspadOptions options_;
+};
+
+}  // namespace mfbo::bo

@@ -1,0 +1,185 @@
+#include "bo/mfbo.h"
+
+#include <cmath>
+
+#include "bo/acquisition.h"
+
+namespace mfbo::bo {
+
+SynthesisResult MfboSynthesizer::run(Problem& problem,
+                                     std::uint64_t seed) const {
+  const std::size_t d = problem.dim();
+  const std::size_t nc = problem.numConstraints();
+  const std::size_t n_out = 1 + nc;
+  const Box real_box = problem.bounds();
+  const Box unit = Box::unitCube(d);
+  const double ratio = problem.costRatio();
+  Rng rng(seed);
+
+  CostTracker tracker(ratio);
+  std::vector<HistoryEntry> history;
+  Dataset low, high;
+
+  auto evaluate = [&](const Vector& u, Fidelity f) {
+    const Vector x_real = real_box.fromUnit(u);
+    Evaluation eval = problem.evaluate(x_real, f);
+    tracker.charge(f);
+    history.push_back({x_real, eval, f, tracker.cost()});
+    (f == Fidelity::kHigh ? high : low).add(u, std::move(eval));
+  };
+
+  // Step 1 of Algorithm 1: initial designs at both fidelities.
+  for (const Vector& u : linalg::latinHypercube(options_.n_init_low, unit, rng))
+    evaluate(u, Fidelity::kLow);
+  for (const Vector& u :
+       linalg::latinHypercube(options_.n_init_high, unit, rng))
+    evaluate(u, Fidelity::kHigh);
+
+  // One fusing surrogate per output.
+  SurrogateFactory factory = options_.surrogate_factory;
+  if (!factory) {
+    factory = [this](std::size_t x_dim, std::uint64_t s) {
+      mf::NargpConfig cfg = options_.nargp;
+      cfg.seed = s;
+      cfg.low.seed = s + 17;
+      cfg.high.seed = s + 31;
+      return std::make_unique<mf::NargpModel>(x_dim, cfg);
+    };
+  }
+  std::vector<std::unique_ptr<mf::MfSurrogate>> models;
+  models.reserve(n_out);
+  for (std::size_t i = 0; i < n_out; ++i)
+    models.push_back(factory(d, seed * 1000003u + i));
+  auto column = [&](const Dataset& ds, std::size_t out) {
+    return out == 0 ? ds.objectives() : ds.constraintColumn(out - 1);
+  };
+  auto fit_all = [&] {
+    for (std::size_t i = 0; i < n_out; ++i)
+      models[i]->fit(low.x, column(low, i), high.x, column(high, i));
+  };
+  fit_all();
+
+  auto low_predictions = [&](const Vector& u) {
+    std::vector<gp::Prediction> p(n_out);
+    for (std::size_t i = 0; i < n_out; ++i) p[i] = models[i]->predictLow(u);
+    return p;
+  };
+  auto high_predictions = [&](const Vector& u) {
+    std::vector<gp::Prediction> p(n_out);
+    for (std::size_t i = 0; i < n_out; ++i) p[i] = models[i]->predictHigh(u);
+    return p;
+  };
+
+  std::size_t iteration = 0;
+  // Loop while at least a low-fidelity evaluation still fits the budget.
+  while (tracker.cost() + 1.0 / ratio <= options_.budget + 1e-9) {
+    ++iteration;
+    const auto feas_low = low.bestFeasible();
+    const auto feas_high = high.bestFeasible();
+
+    // τ incumbents (§4.1): locations of the current best results of the
+    // low- and high-fidelity search spaces.
+    const std::optional<Vector> inc_l =
+        low.size() ? std::optional<Vector>(
+                         low.x[feas_low ? *feas_low : low.bestByMerit()])
+                   : std::nullopt;
+    const std::optional<Vector> inc_h =
+        high.size() ? std::optional<Vector>(
+                          high.x[feas_high ? *feas_high : high.bestByMerit()])
+                    : std::nullopt;
+
+    // Step 5: optimize the low-fidelity acquisition → x*_l.
+    Vector x_star_l;
+    if (nc > 0 && !feas_low && options_.use_first_feasible) {
+      opt::ScalarObjective criterion = [&](const Vector& u) {
+        const auto p = low_predictions(u);
+        return predictedViolation({p.begin() + 1, p.end()});
+      };
+      x_star_l = minimizeCriterionMsp(criterion, unit, options_.msp.n_starts,
+                                      options_.msp.local, rng);
+    } else {
+      const double tau_l = feas_low ? low.evals[*feas_low].objective
+                                    : models[0]->bestLowObserved();
+      opt::ScalarObjective acq_low = [&](const Vector& u) {
+        const auto p = low_predictions(u);
+        return weightedEi(p[0], tau_l, {p.begin() + 1, p.end()});
+      };
+      x_star_l = maximizeAcquisitionMsp(acq_low, unit, inc_l, inc_h,
+                                        options_.msp, rng);
+    }
+
+    // Step 6: optimize the fused high-fidelity acquisition seeded with
+    // x*_l (plus a few jittered copies of it).
+    std::vector<Vector> seeds{x_star_l};
+    for (std::size_t i = 0; i < options_.x_star_seeds; ++i)
+      seeds.push_back(linalg::gaussianJitterInBox(
+          x_star_l, options_.msp.relative_sd, unit, rng));
+
+    Vector x_t;
+    if (nc > 0 && !feas_high && options_.use_first_feasible) {
+      // eq. (13) on the fused high-fidelity posterior means.
+      opt::ScalarObjective criterion = [&](const Vector& u) {
+        const auto p = high_predictions(u);
+        return predictedViolation({p.begin() + 1, p.end()});
+      };
+      opt::ScalarObjective negated = [&](const Vector& u) {
+        return -criterion(u);
+      };
+      // Reuse the MSP maximizer on the negated criterion so the x*_l seeds
+      // participate; equivalent to minimizing the criterion.
+      x_t = maximizeAcquisitionMsp(negated, unit, inc_l, inc_h, options_.msp,
+                                   rng, seeds);
+    } else {
+      const double tau_h = feas_high ? high.evals[*feas_high].objective
+                                     : models[0]->bestHighObserved();
+      opt::ScalarObjective acq_high = [&](const Vector& u) {
+        const auto p = high_predictions(u);
+        return weightedEi(p[0], tau_h, {p.begin() + 1, p.end()});
+      };
+      x_t = maximizeAcquisitionMsp(acq_high, unit, inc_l, inc_h, options_.msp,
+                                   rng, seeds);
+    }
+
+    // Step 7 (§3.4): fidelity selection. Variances are normalized by each
+    // low GP's output scale so γ is dimensionless (eq. 11-12).
+    double max_norm_var = 0.0;
+    for (std::size_t i = 0; i < n_out; ++i) {
+      const double sd_out = models[i]->lowOutputSd();
+      const double norm_var =
+          models[i]->predictLow(x_t).var / (sd_out * sd_out);
+      max_norm_var = std::max(max_norm_var, norm_var);
+    }
+    const double threshold = (1.0 + static_cast<double>(nc)) * options_.gamma;
+    Fidelity f = max_norm_var < threshold ? Fidelity::kHigh : Fidelity::kLow;
+    // Respect the remaining budget: a high-fidelity evaluation that no
+    // longer fits is downgraded.
+    if (f == Fidelity::kHigh &&
+        tracker.cost() + 1.0 > options_.budget + 1e-9)
+      f = Fidelity::kLow;
+
+    x_t = dedupeCandidate(std::move(x_t), f == Fidelity::kHigh ? high : low,
+                          unit, rng);
+    evaluate(x_t, f);
+
+    // Step 8: update the training sets / surrogates.
+    const bool retrain = options_.retrain_every <= 1 ||
+                         iteration % options_.retrain_every == 0;
+    if (retrain) {
+      fit_all();
+    } else {
+      for (std::size_t i = 0; i < n_out; ++i) {
+        const Dataset& ds = f == Fidelity::kHigh ? high : low;
+        const double y = i == 0 ? ds.evals.back().objective
+                                : ds.evals.back().constraints[i - 1];
+        if (f == Fidelity::kHigh)
+          models[i]->addHigh(ds.x.back(), y, false);
+        else
+          models[i]->addLow(ds.x.back(), y, false);
+      }
+    }
+  }
+
+  return finalizeResult(std::move(history), tracker);
+}
+
+}  // namespace mfbo::bo

@@ -1,0 +1,40 @@
+// mfbo::bo — synthesis run records.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "bo/problem.h"
+
+namespace mfbo::bo {
+
+/// One evaluated point in the order it was queried.
+struct HistoryEntry {
+  Vector x;
+  Evaluation eval;
+  Fidelity fidelity = Fidelity::kHigh;
+  /// Cumulative cost in equivalent high-fidelity simulations *after* this
+  /// evaluation (low-fidelity evaluations add 1/costRatio).
+  double cumulative_cost = 0.0;
+};
+
+/// Outcome of one synthesis run.
+struct SynthesisResult {
+  Vector best_x;               ///< best feasible point (or least-violating)
+  Evaluation best_eval;        ///< its evaluation (high fidelity)
+  bool feasible_found = false;
+  std::size_t n_low = 0;       ///< low-fidelity evaluations consumed
+  std::size_t n_high = 0;      ///< high-fidelity evaluations consumed
+  double equivalent_high_sims = 0.0;  ///< n_high + n_low / costRatio
+  std::vector<HistoryEntry> history;
+};
+
+/// Index of the best entry among high-fidelity history entries: the
+/// feasible one with the smallest objective, or — when none is feasible —
+/// the one with the smallest total violation. Returns nullopt when there
+/// are no high-fidelity entries.
+std::optional<std::size_t> bestHighIndex(
+    const std::vector<HistoryEntry>& history);
+
+}  // namespace mfbo::bo

@@ -1,0 +1,102 @@
+#include "bo/weibo.h"
+
+#include <memory>
+
+#include "bo/acquisition.h"
+
+namespace mfbo::bo {
+
+SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
+  const std::size_t d = problem.dim();
+  const std::size_t nc = problem.numConstraints();
+  const Box real_box = problem.bounds();
+  const Box unit = Box::unitCube(d);
+  Rng rng(seed);
+
+  CostTracker tracker(problem.costRatio());
+  std::vector<HistoryEntry> history;
+  Dataset data;
+
+  auto evaluate = [&](const Vector& u) {
+    const Vector x_real = real_box.fromUnit(u);
+    Evaluation eval = problem.evaluate(x_real, Fidelity::kHigh);
+    tracker.charge(Fidelity::kHigh);
+    history.push_back({x_real, eval, Fidelity::kHigh, tracker.cost()});
+    data.add(u, std::move(eval));
+  };
+
+  // Initial space-filling design.
+  const std::size_t n_init =
+      std::min<std::size_t>(options_.n_init,
+                            static_cast<std::size_t>(options_.max_sims));
+  for (const Vector& u : linalg::latinHypercube(n_init, unit, rng))
+    evaluate(u);
+
+  // One GP per output: index 0 is the objective, 1..nc the constraints.
+  std::vector<gp::GpRegressor> models;
+  models.reserve(1 + nc);
+  for (std::size_t i = 0; i <= nc; ++i) {
+    gp::GpConfig cfg = options_.gp;
+    cfg.seed = seed * 1000003u + i;
+    models.emplace_back(std::make_unique<gp::SeArdKernel>(d), cfg);
+  }
+  auto fit_all = [&] {
+    models[0].fit(data.x, data.objectives());
+    for (std::size_t i = 0; i < nc; ++i)
+      models[1 + i].fit(data.x, data.constraintColumn(i));
+  };
+  fit_all();
+
+  std::size_t iteration = 0;
+  while (tracker.cost() + 1.0 <= options_.max_sims + 1e-9) {
+    ++iteration;
+    const auto feasible_idx = data.bestFeasible();
+
+    Vector candidate;
+    if (nc > 0 && !feasible_idx && options_.use_first_feasible) {
+      // First-feasible phase (eq. 13): pull the search into the predicted
+      // feasible region before spending budget on wEI.
+      opt::ScalarObjective criterion = [&](const Vector& u) {
+        std::vector<gp::Prediction> cons(nc);
+        for (std::size_t i = 0; i < nc; ++i) cons[i] = models[1 + i].predict(u);
+        return predictedViolation(cons);
+      };
+      candidate = minimizeCriterionMsp(criterion, unit, options_.msp.n_starts,
+                                       options_.msp.local, rng);
+    } else {
+      const double tau = feasible_idx ? data.evals[*feasible_idx].objective
+                                      : models[0].bestObserved();
+      opt::ScalarObjective acq = [&](const Vector& u) {
+        const gp::Prediction obj = models[0].predict(u);
+        std::vector<gp::Prediction> cons(nc);
+        for (std::size_t i = 0; i < nc; ++i) cons[i] = models[1 + i].predict(u);
+        return weightedEi(obj, tau, cons);
+      };
+      // Single-fidelity: only the τ_h incumbent exists (fraction per §4.1).
+      const std::optional<Vector> incumbent =
+          feasible_idx ? std::optional<Vector>(data.x[*feasible_idx])
+                       : std::optional<Vector>(data.x[data.bestByMerit()]);
+      candidate = maximizeAcquisitionMsp(acq, unit, std::nullopt, incumbent,
+                                         options_.msp, rng);
+    }
+
+    candidate = dedupeCandidate(std::move(candidate), data, unit, rng);
+    evaluate(candidate);
+
+    // Update the models with the new observation.
+    const bool retrain = options_.retrain_every <= 1 ||
+                         iteration % options_.retrain_every == 0;
+    if (retrain) {
+      fit_all();
+    } else {
+      models[0].addPoint(data.x.back(), data.evals.back().objective, false);
+      for (std::size_t i = 0; i < nc; ++i)
+        models[1 + i].addPoint(data.x.back(),
+                               data.evals.back().constraints[i], false);
+    }
+  }
+
+  return finalizeResult(std::move(history), tracker);
+}
+
+}  // namespace mfbo::bo

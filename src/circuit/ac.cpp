@@ -1,0 +1,261 @@
+#include "circuit/ac.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "circuit/linearize.h"
+#include "linalg/matrix.h"
+
+namespace mfbo::circuit {
+
+namespace {
+
+constexpr double kGmin = 1e-12;
+
+/// Assemble the real (G) and imaginary (B = ω-scaled susceptance) parts of
+/// the small-signal MNA system at angular frequency @p omega, linearized
+/// at the DC solution @p op, plus the complex stimulus vector.
+void assembleAc(const Simulator& sim, const linalg::Vector& op, double omega,
+                linalg::Matrix& g, linalg::Matrix& b, linalg::Vector& rhs_re,
+                linalg::Vector& rhs_im) {
+  const Netlist& net = sim.netlist();
+  const std::size_t n = sim.dim();
+  const std::size_t n_nodes = net.numNodes();
+  g = linalg::Matrix(n, n);
+  b = linalg::Matrix(n, n);
+  rhs_re = linalg::Vector(n);
+  rhs_im = linalg::Vector(n);
+
+  auto nodeV = [&](NodeId id) {
+    return id == kGround ? 0.0 : op[static_cast<std::size_t>(id)];
+  };
+  auto add2 = [](linalg::Matrix& m, NodeId a, NodeId b2, double value) {
+    if (a != kGround)
+      m(static_cast<std::size_t>(a), static_cast<std::size_t>(a)) += value;
+    if (b2 != kGround)
+      m(static_cast<std::size_t>(b2), static_cast<std::size_t>(b2)) += value;
+    if (a != kGround && b2 != kGround) {
+      m(static_cast<std::size_t>(a), static_cast<std::size_t>(b2)) -= value;
+      m(static_cast<std::size_t>(b2), static_cast<std::size_t>(a)) -= value;
+    }
+  };
+  auto entry = [](linalg::Matrix& m, std::size_t row, NodeId col,
+                  double value) {
+    if (col != kGround) m(row, static_cast<std::size_t>(col)) += value;
+  };
+
+  for (std::size_t i = 0; i < n_nodes; ++i) g(i, i) += kGmin;
+
+  for (const Resistor& r : net.resistors()) add2(g, r.np, r.nn, 1.0 / r.r);
+  for (const Capacitor& c : net.capacitors())
+    add2(b, c.np, c.nn, omega * c.c);
+
+  // Voltage sources: branch rows v_np − v_nn = V_ac (0 for quiet sources).
+  {
+    const auto& srcs = net.vsources();
+    for (std::size_t k = 0; k < srcs.size(); ++k) {
+      const VSource& s = srcs[k];
+      const std::size_t br = sim.vsourceBranch(k);
+      if (s.np != kGround) {
+        g(static_cast<std::size_t>(s.np), br) += 1.0;
+        g(br, static_cast<std::size_t>(s.np)) += 1.0;
+      }
+      if (s.nn != kGround) {
+        g(static_cast<std::size_t>(s.nn), br) -= 1.0;
+        g(br, static_cast<std::size_t>(s.nn)) -= 1.0;
+      }
+      rhs_re[br] = s.ac_magnitude * std::cos(s.ac_phase);
+      rhs_im[br] = s.ac_magnitude * std::sin(s.ac_phase);
+    }
+  }
+
+  // Inductors: branch row v − jωL·i = 0.
+  {
+    const auto& inds = net.inductors();
+    for (std::size_t k = 0; k < inds.size(); ++k) {
+      const Inductor& ind = inds[k];
+      const std::size_t br = sim.inductorBranch(k);
+      if (ind.np != kGround) {
+        g(static_cast<std::size_t>(ind.np), br) += 1.0;
+        g(br, static_cast<std::size_t>(ind.np)) += 1.0;
+      }
+      if (ind.nn != kGround) {
+        g(static_cast<std::size_t>(ind.nn), br) -= 1.0;
+        g(br, static_cast<std::size_t>(ind.nn)) -= 1.0;
+      }
+      b(br, br) -= omega * ind.l;
+    }
+  }
+
+  // Current-source stimuli.
+  for (const ISource& s : net.isources()) {
+    const double re = s.ac_magnitude * std::cos(s.ac_phase);
+    const double im = s.ac_magnitude * std::sin(s.ac_phase);
+    if (s.nn != kGround) {
+      rhs_re[static_cast<std::size_t>(s.nn)] += re;
+      rhs_im[static_cast<std::size_t>(s.nn)] += im;
+    }
+    if (s.np != kGround) {
+      rhs_re[static_cast<std::size_t>(s.np)] -= re;
+      rhs_im[static_cast<std::size_t>(s.np)] -= im;
+    }
+  }
+
+  // Voltage-controlled sources.
+  {
+    const auto& es = net.vcvs();
+    for (std::size_t k = 0; k < es.size(); ++k) {
+      const Vcvs& e = es[k];
+      const std::size_t br = sim.vcvsBranch(k);
+      if (e.np != kGround) {
+        g(static_cast<std::size_t>(e.np), br) += 1.0;
+        g(br, static_cast<std::size_t>(e.np)) += 1.0;
+      }
+      if (e.nn != kGround) {
+        g(static_cast<std::size_t>(e.nn), br) -= 1.0;
+        g(br, static_cast<std::size_t>(e.nn)) -= 1.0;
+      }
+      entry(g, br, e.cp, -e.gain);
+      entry(g, br, e.cn, e.gain);
+    }
+  }
+  for (const Vccs& gsrc : net.vccs()) {
+    if (gsrc.np != kGround) {
+      entry(g, static_cast<std::size_t>(gsrc.np), gsrc.cp, gsrc.gm);
+      entry(g, static_cast<std::size_t>(gsrc.np), gsrc.cn, -gsrc.gm);
+    }
+    if (gsrc.nn != kGround) {
+      entry(g, static_cast<std::size_t>(gsrc.nn), gsrc.cp, -gsrc.gm);
+      entry(g, static_cast<std::size_t>(gsrc.nn), gsrc.cn, gsrc.gm);
+    }
+  }
+
+  // MOSFETs linearized at the operating point.
+  for (const Mosfet& m : net.mosfets()) {
+    const MosfetSmallSignal ss =
+        mosfetSmallSignal(m, nodeV(m.d), nodeV(m.g), nodeV(m.s));
+    const NodeId d = ss.d_eff, s = ss.s_eff, gn = ss.g;
+    if (d != kGround) {
+      entry(g, static_cast<std::size_t>(d), gn, ss.gm);
+      entry(g, static_cast<std::size_t>(d), s, -ss.gm);
+    }
+    if (s != kGround) {
+      entry(g, static_cast<std::size_t>(s), gn, -ss.gm);
+      entry(g, static_cast<std::size_t>(s), s, ss.gm);
+    }
+    add2(g, d, s, ss.gds);
+  }
+
+  // Diodes linearized at the operating point.
+  for (const Diode& dd : net.diodes()) {
+    const DiodeState st =
+        diodeEval(dd.params, nodeV(dd.np) - nodeV(dd.nn));
+    add2(g, dd.np, dd.nn, st.gd);
+  }
+}
+
+}  // namespace
+
+double AcResult::magnitudeDb(std::size_t k, NodeId node) const {
+  return 20.0 * std::log10(std::max(std::abs(nodePhasor(k, node)), 1e-300));
+}
+
+double AcResult::phaseDeg(std::size_t k, NodeId node) const {
+  return std::arg(nodePhasor(k, node)) * 180.0 / std::numbers::pi;
+}
+
+AcResult acAnalysis(Simulator& sim, double f_start, double f_stop,
+                    std::size_t points_per_decade) {
+  if (!(f_start > 0.0) || !(f_stop > f_start) || points_per_decade == 0)
+    throw std::invalid_argument("acAnalysis: bad sweep parameters");
+
+  AcResult result;
+  const DcResult dc = sim.dcOperatingPoint();
+  if (!dc.converged) return result;  // converged stays false
+
+  const double decades = std::log10(f_stop / f_start);
+  const std::size_t n_points = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(points_per_decade))) + 1;
+
+  const std::size_t n = sim.dim();
+  for (std::size_t k = 0; k < n_points; ++k) {
+    const double f =
+        f_start * std::pow(10.0, decades * static_cast<double>(k) /
+                                     static_cast<double>(n_points - 1));
+    const double omega = 2.0 * std::numbers::pi * f;
+
+    linalg::Matrix g, b;
+    linalg::Vector rhs_re, rhs_im;
+    assembleAc(sim, dc.solution, omega, g, b, rhs_re, rhs_im);
+
+    // Real embedding: [G −B; B G]·[xr; xi] = [br; bi].
+    linalg::Matrix big(2 * n, 2 * n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) {
+        big(r, c) = g(r, c);
+        big(r, n + c) = -b(r, c);
+        big(n + r, c) = b(r, c);
+        big(n + r, n + c) = g(r, c);
+      }
+    linalg::Vector rhs(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rhs[i] = rhs_re[i];
+      rhs[n + i] = rhs_im[i];
+    }
+    linalg::Vector x;
+    try {
+      x = linalg::luSolve(std::move(big), rhs);
+    } catch (const std::runtime_error&) {
+      return result;  // converged stays false
+    }
+
+    std::vector<std::complex<double>> phasors(n);
+    for (std::size_t i = 0; i < n; ++i) phasors[i] = {x[i], x[n + i]};
+    result.freq.push_back(f);
+    result.solution.push_back(std::move(phasors));
+  }
+  result.converged = true;
+  return result;
+}
+
+double unityGainFrequency(const AcResult& result, NodeId node) {
+  for (std::size_t k = 1; k < result.freq.size(); ++k) {
+    const double m0 = result.magnitudeDb(k - 1, node);
+    const double m1 = result.magnitudeDb(k, node);
+    if (m0 >= 0.0 && m1 < 0.0) {
+      // Log-linear interpolation of the 0 dB crossing.
+      const double t = m0 / (m0 - m1);
+      return result.freq[k - 1] *
+             std::pow(result.freq[k] / result.freq[k - 1], t);
+    }
+  }
+  return 0.0;
+}
+
+double phaseMarginDeg(const AcResult& result, NodeId node, bool invert) {
+  const double fu = unityGainFrequency(result, node);
+  if (fu <= 0.0) return 0.0;
+  // Interpolate the phase at fu between the bracketing sweep points.
+  for (std::size_t k = 1; k < result.freq.size(); ++k) {
+    if (result.freq[k] >= fu) {
+      auto ph = [&](std::size_t i) {
+        const std::complex<double> h = result.nodePhasor(i, node);
+        return std::arg(invert ? -h : h) * 180.0 / std::numbers::pi;
+      };
+      const double p0 = ph(k - 1);
+      double p1 = ph(k);
+      // Unwrap a single 360° jump between adjacent points.
+      if (p1 - p0 > 180.0) p1 -= 360.0;
+      if (p0 - p1 > 180.0) p1 += 360.0;
+      const double t =
+          std::log(fu / result.freq[k - 1]) /
+          std::log(result.freq[k] / result.freq[k - 1]);
+      const double phase = p0 + t * (p1 - p0);
+      return 180.0 + phase;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace mfbo::circuit

@@ -1,0 +1,56 @@
+// mfbo::circuit — small-signal AC analysis.
+//
+// Linearizes every nonlinear device at the DC operating point and solves
+// the complex MNA system Y(jω)·x = b over a logarithmic frequency sweep.
+// The complex system is solved through its 2n×2n real embedding
+// [G −B; B G]·[Re x; Im x] = [Re b; Im b], reusing the real LU factor.
+//
+// Stimuli: set ac_magnitude (and optionally ac_phase) on a VSource or
+// ISource; all other sources are quiet (AC-grounded), as in SPICE ".ac".
+#pragma once
+
+#include <complex>
+
+#include "circuit/simulator.h"
+
+namespace mfbo::circuit {
+
+struct AcResult {
+  std::vector<double> freq;  ///< Hz, log-spaced
+  /// solution[k][i]: phasor of unknown i (node voltages then branch
+  /// currents) at freq[k].
+  std::vector<std::vector<std::complex<double>>> solution;
+  bool converged = false;
+
+  /// Node-voltage phasor at sweep point @p k (ground reads 0).
+  std::complex<double> nodePhasor(std::size_t k, NodeId node) const {
+    return node == kGround
+               ? std::complex<double>(0.0, 0.0)
+               : solution[k][static_cast<std::size_t>(node)];
+  }
+  /// |V(node)| in dB at sweep point k.
+  double magnitudeDb(std::size_t k, NodeId node) const;
+  /// Phase of V(node) in degrees at sweep point k, in (−180, 180].
+  double phaseDeg(std::size_t k, NodeId node) const;
+};
+
+/// Log-sweep AC analysis of @p sim's netlist from @p f_start to @p f_stop
+/// with @p points_per_decade points (endpoints included). Runs (and
+/// requires convergence of) the DC operating point internally.
+AcResult acAnalysis(Simulator& sim, double f_start, double f_stop,
+                    std::size_t points_per_decade = 10);
+
+/// First sweep frequency at which |V(node)| falls below 0 dB (unity),
+/// interpolated log-linearly between the bracketing points. Returns 0 when
+/// the response never crosses unity within the sweep.
+double unityGainFrequency(const AcResult& result, NodeId node);
+
+/// Phase margin in degrees: 180° + ∠H at the unity-gain frequency, where
+/// H is the response at @p node. For an inverting stage pass
+/// @p invert = true so the loop phase ∠(−H) is used (the DC inversion is
+/// absorbed into the feedback sign, as in a lab measurement). Returns 0
+/// when there is no unity crossing in the sweep.
+double phaseMarginDeg(const AcResult& result, NodeId node,
+                      bool invert = false);
+
+}  // namespace mfbo::circuit

@@ -1,0 +1,64 @@
+#include "circuit/devices.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mfbo::circuit {
+
+MosfetState mosfetEval(const MosfetParams& p, double vgs, double vds) {
+  // Caller guarantees vds >= 0 (drain/source swapped otherwise).
+  MosfetState s;
+  const double beta = p.kp * (p.w / p.l);
+  const double vov = vgs - p.vt0;
+  // Tiny conductance in cutoff keeps the MNA matrix nonsingular and gives
+  // Newton a gradient to climb out of cutoff.
+  constexpr double kGmin = 1e-12;
+
+  if (vov <= 0.0) {
+    s.id = kGmin * vds;
+    s.gm = 0.0;
+    s.gds = kGmin;
+    return s;
+  }
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds < vov) {
+    // Triode region.
+    s.id = beta * (vov * vds - 0.5 * vds * vds) * clm;
+    s.gm = beta * vds * clm;
+    s.gds = beta * (vov - vds) * clm +
+            beta * (vov * vds - 0.5 * vds * vds) * p.lambda;
+  } else {
+    // Saturation.
+    const double id_sat = 0.5 * beta * vov * vov;
+    s.id = id_sat * clm;
+    s.gm = beta * vov * clm;
+    s.gds = id_sat * p.lambda;
+  }
+  s.id += kGmin * vds;
+  s.gds += kGmin;
+  return s;
+}
+
+DiodeState diodeEval(const DiodeParams& p, double v) {
+  DiodeState s;
+  const double nvt = p.n * p.vt;
+  const double v_crit = 40.0 * nvt;  // linearize beyond this
+  if (v <= v_crit) {
+    const double e = std::exp(std::max(v, -200.0 * nvt) / nvt);
+    s.id = p.is * (e - 1.0);
+    s.gd = p.is * e / nvt;
+  } else {
+    // First-order continuation of the exponential above v_crit.
+    const double e = std::exp(v_crit / nvt);
+    const double g = p.is * e / nvt;
+    s.id = p.is * (e - 1.0) + g * (v - v_crit);
+    s.gd = g;
+  }
+  // Minimum conductance for numerical robustness in deep reverse bias.
+  constexpr double kGmin = 1e-12;
+  s.id += kGmin * v;
+  s.gd += kGmin;
+  return s;
+}
+
+}  // namespace mfbo::circuit

@@ -1,0 +1,54 @@
+// mfbo::circuit — nonlinear device models.
+//
+// Level-1 (Shichman-Hodges) MOSFET and an exponential-junction diode.
+// The models return the channel/junction current plus the small-signal
+// conductances the Newton linearization needs.
+#pragma once
+
+#include <string>
+
+namespace mfbo::circuit {
+
+/// Level-1 MOSFET parameters. Geometry (w, l) in meters; kp = µ·Cox in
+/// A/V²; vt0 in volts (positive for both polarities — the PMOS threshold
+/// is interpreted as v_sg threshold); lambda in 1/V.
+struct MosfetParams {
+  bool is_pmos = false;
+  double vt0 = 0.5;
+  double kp = 2e-4;
+  double lambda = 0.05;
+  double w = 1e-6;
+  double l = 1e-7;
+};
+
+/// Channel current and derivatives of a level-1 MOSFET.
+struct MosfetState {
+  double id = 0.0;   ///< drain current (into drain for NMOS convention)
+  double gm = 0.0;   ///< ∂id/∂vgs
+  double gds = 0.0;  ///< ∂id/∂vds
+};
+
+/// Evaluate the level-1 model for *NMOS-normalized* terminal voltages
+/// (vgs, vds ≥ 0 region handled; vds < 0 is handled by the caller swapping
+/// drain/source — the device is symmetric). A small sub-threshold leakage
+/// keeps the Jacobian nonsingular in cutoff.
+MosfetState mosfetEval(const MosfetParams& p, double vgs, double vds);
+
+/// Junction diode parameters.
+struct DiodeParams {
+  double is = 1e-14;  ///< saturation current (A)
+  double n = 1.0;     ///< ideality factor
+  double vt = 0.02585;  ///< thermal voltage at 27 °C (V)
+};
+
+struct DiodeState {
+  double id = 0.0;
+  double gd = 0.0;  ///< ∂id/∂v
+};
+
+/// Evaluate the diode at junction voltage @p v with exponent limiting (the
+/// exponential is linearized above ~40·n·vt to avoid overflow, standard
+/// SPICE practice).
+DiodeState diodeEval(const DiodeParams& p, double v);
+
+}  // namespace mfbo::circuit

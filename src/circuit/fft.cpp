@@ -1,0 +1,98 @@
+#include "circuit/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mfbo::circuit {
+
+void fftRadix2(std::vector<std::complex<double>>& data) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("fftRadix2: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<Harmonic> harmonicAnalysis(const std::vector<double>& samples,
+                                       double dt, double f0,
+                                       std::size_t n_harmonics) {
+  if (samples.empty() || !(dt > 0.0) || !(f0 > 0.0))
+    throw std::invalid_argument("harmonicAnalysis: bad arguments");
+  const double period = 1.0 / f0;
+  const double total_time = static_cast<double>(samples.size() - 1) * dt;
+  const std::size_t n_periods =
+      static_cast<std::size_t>(std::floor(total_time / period + 1e-9));
+  if (n_periods == 0)
+    throw std::invalid_argument(
+        "harmonicAnalysis: window shorter than one fundamental period");
+  // Use the last n_periods·period of the record (integer periods, and the
+  // tail is the closest to periodic steady state).
+  const std::size_t n_use = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(
+          std::round(static_cast<double>(n_periods) * period / dt)));
+  const std::size_t start = samples.size() - 1 - n_use;
+
+  std::vector<Harmonic> out(n_harmonics + 1);
+  for (std::size_t k = 0; k <= n_harmonics; ++k) {
+    const double w = 2.0 * std::numbers::pi * f0 * static_cast<double>(k);
+    double re = 0.0, im = 0.0;
+    // Trapezoid-weighted correlation over exactly n_use intervals.
+    for (std::size_t i = 0; i <= n_use; ++i) {
+      const double t = static_cast<double>(i) * dt;
+      const double weight = (i == 0 || i == n_use) ? 0.5 : 1.0;
+      const double v = samples[start + i];
+      re += weight * v * std::cos(w * t);
+      im += weight * v * std::sin(w * t);
+    }
+    const double norm = 1.0 / static_cast<double>(n_use);
+    re *= norm;
+    im *= norm;
+    out[k].frequency = f0 * static_cast<double>(k);
+    if (k == 0) {
+      out[k].magnitude = std::abs(re);
+      out[k].phase = 0.0;
+    } else {
+      out[k].magnitude = 2.0 * std::hypot(re, im);
+      out[k].phase = std::atan2(-im, re);
+    }
+  }
+  return out;
+}
+
+double totalHarmonicDistortion(const std::vector<Harmonic>& harmonics) {
+  if (harmonics.size() < 2 || harmonics[1].magnitude <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t k = 2; k < harmonics.size(); ++k)
+    acc += harmonics[k].magnitude * harmonics[k].magnitude;
+  return std::sqrt(acc) / harmonics[1].magnitude;
+}
+
+double totalHarmonicDistortionDb(const std::vector<Harmonic>& harmonics) {
+  const double thd = totalHarmonicDistortion(harmonics);
+  return 20.0 * std::log10(std::max(thd, 1e-300));
+}
+
+}  // namespace mfbo::circuit

@@ -1,0 +1,40 @@
+// mfbo::circuit — spectral analysis of transient waveforms.
+//
+// Two tools: an in-place radix-2 FFT (general spectra, tests) and a
+// coherent single-bin DFT harmonicAnalysis() used by the testbenches —
+// correlating against sin/cos at exact harmonic frequencies over an integer
+// number of fundamental periods avoids leakage without windowing.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace mfbo::circuit {
+
+/// In-place iterative radix-2 FFT. data.size() must be a power of two.
+void fftRadix2(std::vector<std::complex<double>>& data);
+
+/// One spectral line.
+struct Harmonic {
+  double frequency = 0.0;  ///< Hz
+  double magnitude = 0.0;  ///< amplitude (peak, not RMS)
+  double phase = 0.0;      ///< radians
+};
+
+/// Amplitudes/phases of DC plus the first @p n_harmonics multiples of @p f0
+/// in uniformly sampled data (@p dt spacing). The analysis window is
+/// truncated to the largest integer number of fundamental periods; at least
+/// one full period must fit. Returned vector: index 0 = DC, index k = k·f0.
+std::vector<Harmonic> harmonicAnalysis(const std::vector<double>& samples,
+                                       double dt, double f0,
+                                       std::size_t n_harmonics);
+
+/// Total harmonic distortion from a harmonicAnalysis() result:
+/// √(Σ_{k≥2} A_k²) / A_1. Returns 0 when the fundamental is absent.
+double totalHarmonicDistortion(const std::vector<Harmonic>& harmonics);
+
+/// THD in dB: 20·log10(THD). Returns −inf for a pure tone.
+double totalHarmonicDistortionDb(const std::vector<Harmonic>& harmonics);
+
+}  // namespace mfbo::circuit

@@ -1,0 +1,55 @@
+#include "circuit/pvt.h"
+
+#include <cmath>
+
+namespace mfbo::circuit {
+
+PvtCorner nominalCorner() {
+  return {"TT/1.0V/27C", 1.0, 0.0, 1.0, 27.0};
+}
+
+std::vector<PvtCorner> fullPvtGrid() {
+  struct Process {
+    const char* tag;
+    double kp_scale;
+    double vt_shift;
+  };
+  const Process processes[] = {
+      {"SS", 0.85, +0.03}, {"TT", 1.0, 0.0}, {"FF", 1.15, -0.03}};
+  const double supplies[] = {0.9, 1.0, 1.1};
+  const double temps[] = {-40.0, 27.0, 125.0};
+
+  std::vector<PvtCorner> grid;
+  grid.reserve(27);
+  for (const Process& p : processes) {
+    for (double v : supplies) {
+      for (double t : temps) {
+        PvtCorner c;
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%s/%.1fV/%+.0fC", p.tag, v, t);
+        c.name = buf;
+        c.kp_scale = p.kp_scale;
+        c.vt_shift = p.vt_shift;
+        c.vdd_scale = v;
+        c.temp_c = t;
+        grid.push_back(std::move(c));
+      }
+    }
+  }
+  return grid;
+}
+
+MosfetParams applyCorner(const MosfetParams& nominal,
+                         const PvtCorner& corner) {
+  MosfetParams p = nominal;
+  const double t_kelvin = corner.temp_c + 273.15;
+  const double mobility_t = std::pow(t_kelvin / 300.15, -1.5);
+  p.kp = nominal.kp * corner.kp_scale * mobility_t;
+  // vt0 is stored as a magnitude for both polarities: SS slows both devices
+  // (larger |vt|), heat lowers |vt| by ~1 mV/°C.
+  const double dv = corner.vt_shift - 1e-3 * (corner.temp_c - 27.0);
+  p.vt0 = std::max(0.05, nominal.vt0 + dv);
+  return p;
+}
+
+}  // namespace mfbo::circuit

@@ -1,0 +1,39 @@
+// mfbo::circuit — process / voltage / temperature corner modelling.
+//
+// The charge-pump experiment verifies device currents across 27 PVT
+// corners (3 process × 3 supply × 3 temperature) at high fidelity and a
+// single nominal corner at low fidelity — exactly the fidelity split of
+// the paper's §5.2. Corners perturb the level-1 parameters the standard
+// way: mobility (kp) scales with process and T^−1.5, threshold shifts with
+// process and −1 mV/°C, the supply is scaled by ±10%.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/devices.h"
+
+namespace mfbo::circuit {
+
+struct PvtCorner {
+  std::string name;        ///< e.g. "FF/1.1V/-40C"
+  double kp_scale = 1.0;   ///< process mobility multiplier (FF > 1 > SS)
+  double vt_shift = 0.0;   ///< process threshold shift (V); SS positive
+  double vdd_scale = 1.0;  ///< supply multiplier (0.9 / 1.0 / 1.1)
+  double temp_c = 27.0;    ///< junction temperature (°C)
+};
+
+/// The nominal TT / 1.0·VDD / 27 °C corner.
+PvtCorner nominalCorner();
+
+/// Full 3×3×3 grid (27 corners): process ∈ {SS, TT, FF}, supply ∈
+/// {0.9, 1.0, 1.1}, temperature ∈ {−40, 27, 125} °C. The nominal corner is
+/// element 13 (the centre of the grid).
+std::vector<PvtCorner> fullPvtGrid();
+
+/// Apply a corner to level-1 parameters: kp gets the process multiplier and
+/// the (T/300K)^−1.5 mobility law; vt0 gets the process shift and −1 mV/°C
+/// drift (magnitude-wise for both polarities).
+MosfetParams applyCorner(const MosfetParams& nominal, const PvtCorner& corner);
+
+}  // namespace mfbo::circuit

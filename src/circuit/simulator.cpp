@@ -1,0 +1,362 @@
+#include "circuit/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/linearize.h"
+
+namespace mfbo::circuit {
+
+namespace {
+/// Always-on conductance from every node to ground: keeps floating nodes
+/// and cutoff devices from making the Jacobian singular.
+constexpr double kGmin = 1e-12;
+
+}  // namespace
+
+Simulator::Simulator(const Netlist& netlist, SimOptions options)
+    : netlist_(netlist),
+      options_(options),
+      n_nodes_(netlist.numNodes()),
+      n_branches_(netlist.vsources().size() + netlist.inductors().size() +
+                  netlist.vcvs().size()),
+      vsource_offset_(n_nodes_),
+      inductor_offset_(n_nodes_ + netlist.vsources().size()),
+      vcvs_offset_(inductor_offset_ + netlist.inductors().size()),
+      cap_current_(netlist.capacitors().size(), 0.0) {
+  if (n_nodes_ == 0)
+    throw std::invalid_argument("Simulator: netlist has no nodes");
+}
+
+void Simulator::assemble(Matrix& g, Vector& rhs, const Vector& x, double t,
+                         double dt, const Vector* prev,
+                         double source_scale) const {
+  const std::size_t n = dim();
+  g = Matrix(n, n);
+  rhs = Vector(n);
+
+  auto addG = [&](NodeId a, NodeId b, double value) {
+    if (a != kGround) g(static_cast<std::size_t>(a),
+                        static_cast<std::size_t>(a)) += value;
+    if (b != kGround) g(static_cast<std::size_t>(b),
+                        static_cast<std::size_t>(b)) += value;
+    if (a != kGround && b != kGround) {
+      g(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) -= value;
+      g(static_cast<std::size_t>(b), static_cast<std::size_t>(a)) -= value;
+    }
+  };
+  // Inject current @p value INTO node a and OUT of node b.
+  auto addCurrent = [&](NodeId a, NodeId b, double value) {
+    if (a != kGround) rhs[static_cast<std::size_t>(a)] += value;
+    if (b != kGround) rhs[static_cast<std::size_t>(b)] -= value;
+  };
+  auto entry = [&](std::size_t row, NodeId col, double value) {
+    if (col != kGround) g(row, static_cast<std::size_t>(col)) += value;
+  };
+
+  for (std::size_t i = 0; i < n_nodes_; ++i)
+    g(i, i) += kGmin + extra_gmin_;
+
+  for (const Resistor& r : netlist_.resistors()) addG(r.np, r.nn, 1.0 / r.r);
+
+  // Capacitors: open in DC, trapezoidal companion in transient.
+  if (dt > 0.0) {
+    const auto& caps = netlist_.capacitors();
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      const Capacitor& c = caps[i];
+      const double geq = 2.0 * c.c / dt;
+      const double v_prev = prev ? nodeV(*prev, c.np) - nodeV(*prev, c.nn)
+                                 : 0.0;
+      addG(c.np, c.nn, geq);
+      // i_{n+1} = geq·(v_{n+1} − v_n) − i_n  ⇒ Norton J = geq·v_n + i_n.
+      addCurrent(c.np, c.nn, geq * v_prev + cap_current_[i]);
+    }
+  }
+
+  // Independent current sources (current flows np → nn through the source).
+  for (const ISource& s : netlist_.isources()) {
+    const double value = source_scale * s.waveform.at(t);
+    addCurrent(s.nn, s.np, value);
+  }
+
+  // Voltage sources: branch current unknowns.
+  {
+    const auto& srcs = netlist_.vsources();
+    for (std::size_t k = 0; k < srcs.size(); ++k) {
+      const VSource& s = srcs[k];
+      const std::size_t br = vsource_offset_ + k;
+      // Branch current flows np → nn *through the source* (SPICE sign:
+      // positive into the + terminal).
+      if (s.np != kGround) {
+        g(static_cast<std::size_t>(s.np), br) += 1.0;
+        g(br, static_cast<std::size_t>(s.np)) += 1.0;
+      }
+      if (s.nn != kGround) {
+        g(static_cast<std::size_t>(s.nn), br) -= 1.0;
+        g(br, static_cast<std::size_t>(s.nn)) -= 1.0;
+      }
+      rhs[br] = source_scale *
+                (dt > 0.0 ? s.waveform.at(t) : s.waveform.dcValue());
+    }
+  }
+
+  // Inductors: short in DC, trapezoidal companion in transient.
+  {
+    const auto& inds = netlist_.inductors();
+    for (std::size_t k = 0; k < inds.size(); ++k) {
+      const Inductor& ind = inds[k];
+      const std::size_t br = inductor_offset_ + k;
+      if (ind.np != kGround) {
+        g(static_cast<std::size_t>(ind.np), br) += 1.0;
+        g(br, static_cast<std::size_t>(ind.np)) += 1.0;
+      }
+      if (ind.nn != kGround) {
+        g(static_cast<std::size_t>(ind.nn), br) -= 1.0;
+        g(br, static_cast<std::size_t>(ind.nn)) -= 1.0;
+      }
+      if (dt > 0.0) {
+        // v_{n+1} − (2L/dt)·i_{n+1} = −v_n − (2L/dt)·i_n
+        const double zeq = 2.0 * ind.l / dt;
+        g(br, br) -= zeq;
+        const double v_prev =
+            prev ? nodeV(*prev, ind.np) - nodeV(*prev, ind.nn) : 0.0;
+        const double i_prev = prev ? (*prev)[br] : 0.0;
+        rhs[br] = -v_prev - zeq * i_prev;
+      }
+      // DC: row is v_np − v_nn = 0 (already stamped), rhs stays 0.
+    }
+  }
+
+  // Voltage-controlled sources (linear, mode-independent).
+  {
+    const auto& es = netlist_.vcvs();
+    for (std::size_t k = 0; k < es.size(); ++k) {
+      const Vcvs& e = es[k];
+      const std::size_t br = vcvs_offset_ + k;
+      if (e.np != kGround) {
+        g(static_cast<std::size_t>(e.np), br) += 1.0;
+        g(br, static_cast<std::size_t>(e.np)) += 1.0;
+      }
+      if (e.nn != kGround) {
+        g(static_cast<std::size_t>(e.nn), br) -= 1.0;
+        g(br, static_cast<std::size_t>(e.nn)) -= 1.0;
+      }
+      // Row: v_np − v_nn − gain·(v_cp − v_cn) = 0.
+      entry(br, e.cp, -e.gain);
+      entry(br, e.cn, e.gain);
+    }
+  }
+  for (const Vccs& gsrc : netlist_.vccs()) {
+    // Current gm·(v_cp − v_cn) leaves np and enters nn.
+    if (gsrc.np != kGround) {
+      entry(static_cast<std::size_t>(gsrc.np), gsrc.cp, gsrc.gm);
+      entry(static_cast<std::size_t>(gsrc.np), gsrc.cn, -gsrc.gm);
+    }
+    if (gsrc.nn != kGround) {
+      entry(static_cast<std::size_t>(gsrc.nn), gsrc.cp, -gsrc.gm);
+      entry(static_cast<std::size_t>(gsrc.nn), gsrc.cn, gsrc.gm);
+    }
+  }
+
+  // MOSFETs: Newton linearization around the current guess.
+  for (const Mosfet& m : netlist_.mosfets()) {
+    const MosfetSmallSignal ss =
+        mosfetSmallSignal(m, nodeV(x, m.d), nodeV(x, m.g), nodeV(x, m.s));
+    // ∂i/∂(real voltages): the polarity factors cancel, so gm/gds stamp
+    // with their NMOS-normalized (positive) values against the effective
+    // terminals.
+    const double vgs_real = nodeV(x, ss.g) - nodeV(x, ss.s_eff);
+    const double vds_real = nodeV(x, ss.d_eff) - nodeV(x, ss.s_eff);
+    const double ieq =
+        ss.i_deff - ss.gm * vgs_real - ss.gds * vds_real;
+
+    const NodeId d = ss.d_eff, s = ss.s_eff, gn = ss.g;
+    // VCCS gm·(v_g − v_s): current d → s.
+    if (d != kGround) {
+      entry(static_cast<std::size_t>(d), gn, ss.gm);
+      entry(static_cast<std::size_t>(d), s, -ss.gm);
+    }
+    if (s != kGround) {
+      entry(static_cast<std::size_t>(s), gn, -ss.gm);
+      entry(static_cast<std::size_t>(s), s, ss.gm);
+    }
+    // gds between d and s.
+    addG(d, s, ss.gds);
+    // Norton current ieq flowing d → s inside the device.
+    addCurrent(s, d, ieq);
+  }
+
+  // Diodes.
+  for (const Diode& dd : netlist_.diodes()) {
+    const double v = nodeV(x, dd.np) - nodeV(x, dd.nn);
+    const DiodeState st = diodeEval(dd.params, v);
+    const double ieq = st.id - st.gd * v;
+    addG(dd.np, dd.nn, st.gd);
+    addCurrent(dd.nn, dd.np, ieq);
+  }
+}
+
+bool Simulator::newtonSolve(Vector& x, double t, double dt, const Vector* prev,
+                            double source_scale) {
+  Matrix g;
+  Vector rhs;
+  for (std::size_t iter = 0; iter < options_.max_newton_iterations; ++iter) {
+    assemble(g, rhs, x, t, dt, prev, source_scale);
+    Vector x_new;
+    try {
+      x_new = linalg::luSolve(std::move(g), rhs);
+    } catch (const std::runtime_error&) {
+      return false;
+    }
+    if (!x_new.allFinite()) return false;
+
+    // Damped update: clamp the largest node-voltage change.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < n_nodes_; ++i)
+      max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
+    const double scale =
+        max_dv > options_.max_step_voltage
+            ? options_.max_step_voltage / max_dv
+            : 1.0;
+    bool converged = true;
+    for (std::size_t i = 0; i < dim(); ++i) {
+      const double dx = scale * (x_new[i] - x[i]);
+      x[i] += dx;
+      if (i < n_nodes_)
+        x[i] = std::clamp(x[i], -options_.v_clamp, options_.v_clamp);
+      if (i < n_nodes_ &&
+          std::abs(dx) >
+              options_.v_abstol + options_.v_reltol * std::abs(x[i]))
+        converged = false;
+    }
+    if (converged && scale == 1.0) return true;
+  }
+  return false;
+}
+
+DcResult Simulator::dcOperatingPoint(const Vector* initial_guess) {
+  DcResult result;
+  extra_gmin_ = 0.0;
+
+  // 1. Plain Newton, warm-started when a guess is available.
+  Vector x = initial_guess && initial_guess->size() == dim()
+                 ? *initial_guess
+                 : Vector(dim());
+  if (newtonSolve(x, 0.0, 0.0, nullptr, 1.0)) {
+    result.solution = std::move(x);
+    result.converged = true;
+    return result;
+  }
+
+  // 2. Gmin stepping: solve with a strong conductance to ground everywhere,
+  // then relax it decade by decade, warm-starting each level.
+  x = Vector(dim());
+  bool gmin_ok = true;
+  for (double gmin : {1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 0.0}) {
+    extra_gmin_ = gmin;
+    if (!newtonSolve(x, 0.0, 0.0, nullptr, 1.0)) {
+      gmin_ok = false;
+      break;
+    }
+  }
+  extra_gmin_ = 0.0;
+  if (gmin_ok) {
+    result.solution = std::move(x);
+    result.converged = true;
+    return result;
+  }
+
+  // 3. Source stepping: ramp all independent sources up from zero.
+  x = Vector(dim());
+  for (std::size_t s = 1; s <= options_.source_steps; ++s) {
+    const double scale =
+        static_cast<double>(s) / static_cast<double>(options_.source_steps);
+    if (!newtonSolve(x, 0.0, 0.0, nullptr, scale)) {
+      result.solution = std::move(x);
+      return result;  // converged stays false
+    }
+  }
+  result.solution = std::move(x);
+  result.converged = true;
+  return result;
+}
+
+TransientResult Simulator::transient(double t_stop, double dt) {
+  if (!(dt > 0.0) || !(t_stop > 0.0))
+    throw std::invalid_argument("Simulator::transient: bad time parameters");
+
+  TransientResult result;
+  const DcResult dc = dcOperatingPoint();
+  if (!dc.converged) return result;  // converged stays false
+
+  std::fill(cap_current_.begin(), cap_current_.end(), 0.0);
+  Vector x = dc.solution;
+  result.time.push_back(0.0);
+  result.solution.push_back(x);
+
+  // Advance one (sub)step; on Newton failure, subdivide up to 3 levels
+  // (64× finer) — the standard SPICE rescue for sharp nonlinear events.
+  auto advance = [&](auto&& self, Vector& state, double t_from,
+                     double dt_step, int depth) -> bool {
+    Vector trial = state;
+    if (newtonSolve(trial, t_from + dt_step, dt_step, &state, 1.0)) {
+      const auto& caps = netlist_.capacitors();
+      for (std::size_t i = 0; i < caps.size(); ++i) {
+        const Capacitor& c = caps[i];
+        const double geq = 2.0 * c.c / dt_step;
+        const double dv = (nodeV(trial, c.np) - nodeV(trial, c.nn)) -
+                          (nodeV(state, c.np) - nodeV(state, c.nn));
+        cap_current_[i] = geq * dv - cap_current_[i];
+      }
+      state = std::move(trial);
+      return true;
+    }
+    if (depth >= 3) return false;
+    const double sub = dt_step / 4.0;
+    for (int k = 0; k < 4; ++k) {
+      if (!self(self, state, t_from + static_cast<double>(k) * sub, sub,
+                depth + 1))
+        return false;
+    }
+    return true;
+  };
+
+  const std::size_t n_steps =
+      static_cast<std::size_t>(std::ceil(t_stop / dt - 1e-9));
+  for (std::size_t step = 1; step <= n_steps; ++step) {
+    const double t_from = static_cast<double>(step - 1) * dt;
+    if (!advance(advance, x, t_from, dt, 0)) return result;
+    result.time.push_back(static_cast<double>(step) * dt);
+    result.solution.push_back(x);
+  }
+  result.converged = true;
+  return result;
+}
+
+double Simulator::vsourceCurrent(const Vector& solution,
+                                 std::size_t vsrc_index) const {
+  if (vsrc_index >= netlist_.vsources().size())
+    throw std::out_of_range("Simulator::vsourceCurrent");
+  return solution[vsource_offset_ + vsrc_index];
+}
+
+double Simulator::inductorCurrent(const Vector& solution,
+                                  std::size_t ind_index) const {
+  if (ind_index >= netlist_.inductors().size())
+    throw std::out_of_range("Simulator::inductorCurrent");
+  return solution[inductor_offset_ + ind_index];
+}
+
+double Simulator::mosfetCurrent(const Vector& solution,
+                                std::size_t mos_index) const {
+  if (mos_index >= netlist_.mosfets().size())
+    throw std::out_of_range("Simulator::mosfetCurrent");
+  const Mosfet& m = netlist_.mosfets()[mos_index];
+  const MosfetSmallSignal ss = mosfetSmallSignal(
+      m, nodeV(solution, m.d), nodeV(solution, m.g), nodeV(solution, m.s));
+  // Current into the netlist drain terminal.
+  return ss.swapped ? -ss.i_deff : ss.i_deff;
+}
+
+}  // namespace mfbo::circuit

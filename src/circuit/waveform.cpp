@@ -1,0 +1,76 @@
+#include "circuit/waveform.h"
+
+#include <numbers>
+
+namespace mfbo::circuit {
+
+Waveform Waveform::dc(double value) {
+  Waveform w;
+  w.kind_ = Kind::kDc;
+  w.value_ = value;
+  return w;
+}
+
+Waveform Waveform::sine(double offset, double amplitude, double freq_hz,
+                        double phase_rad) {
+  Waveform w;
+  w.kind_ = Kind::kSine;
+  w.offset_ = offset;
+  w.amplitude_ = amplitude;
+  w.freq_ = freq_hz;
+  w.phase_ = phase_rad;
+  return w;
+}
+
+Waveform Waveform::pulse(double v1, double v2, double delay, double rise,
+                         double fall, double width, double period) {
+  Waveform w;
+  w.kind_ = Kind::kPulse;
+  w.v1_ = v1;
+  w.v2_ = v2;
+  w.delay_ = delay;
+  w.rise_ = rise;
+  w.fall_ = fall;
+  w.width_ = width;
+  w.period_ = period;
+  return w;
+}
+
+double Waveform::at(double t) const {
+  switch (kind_) {
+    case Kind::kDc:
+      return value_;
+    case Kind::kSine:
+      return offset_ +
+             amplitude_ *
+                 std::sin(2.0 * std::numbers::pi * freq_ * t + phase_);
+    case Kind::kPulse: {
+      if (t < delay_) return v1_;
+      double tau = t - delay_;
+      if (period_ > 0.0) tau = std::fmod(tau, period_);
+      if (tau < rise_)
+        return rise_ > 0.0 ? v1_ + (v2_ - v1_) * tau / rise_ : v2_;
+      tau -= rise_;
+      if (tau < width_) return v2_;
+      tau -= width_;
+      if (tau < fall_)
+        return fall_ > 0.0 ? v2_ + (v1_ - v2_) * tau / fall_ : v1_;
+      return v1_;
+    }
+  }
+  return 0.0;
+}
+
+double Waveform::dcValue() const {
+  switch (kind_) {
+    case Kind::kDc:
+      return value_;
+    case Kind::kSine:
+      return offset_;
+    case Kind::kPulse:
+      return v1_;
+  }
+  return 0.0;
+}
+
+}  // namespace mfbo::circuit

@@ -1,0 +1,42 @@
+// mfbo::circuit — independent-source waveforms (SPICE DC / SIN / PULSE).
+#pragma once
+
+#include <cmath>
+
+namespace mfbo::circuit {
+
+/// Time-dependent source value. Mirrors the SPICE source kinds the
+/// testbenches need: DC, SIN(offset, amplitude, freq, phase) and
+/// PULSE(v1, v2, delay, rise, fall, width, period).
+class Waveform {
+ public:
+  /// Constant value.
+  static Waveform dc(double value);
+  /// offset + amplitude·sin(2πf·t + phase), phase in radians.
+  static Waveform sine(double offset, double amplitude, double freq_hz,
+                       double phase_rad = 0.0);
+  /// Periodic trapezoidal pulse (SPICE semantics). period == 0 means a
+  /// single, non-repeating pulse.
+  static Waveform pulse(double v1, double v2, double delay, double rise,
+                        double fall, double width, double period);
+
+  /// Value at time @p t (seconds).
+  double at(double t) const;
+
+  /// DC value used for operating-point analysis (t = 0 for pulse sources,
+  /// offset for sine — standard SPICE behaviour).
+  double dcValue() const;
+
+ private:
+  enum class Kind { kDc, kSine, kPulse };
+  Kind kind_ = Kind::kDc;
+  // DC
+  double value_ = 0.0;
+  // SIN
+  double offset_ = 0.0, amplitude_ = 0.0, freq_ = 0.0, phase_ = 0.0;
+  // PULSE
+  double v1_ = 0.0, v2_ = 0.0, delay_ = 0.0, rise_ = 0.0, fall_ = 0.0,
+         width_ = 0.0, period_ = 0.0;
+};
+
+}  // namespace mfbo::circuit

@@ -1,0 +1,234 @@
+#include "gp/gp_regressor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mfbo::gp {
+
+double negLogMarginalLikelihood(const Kernel& kernel, double log_sigma_n,
+                                const std::vector<Vector>& x, const Vector& y,
+                                Vector* grad) {
+  const std::size_t n = x.size();
+  if (n == 0)
+    throw std::invalid_argument("negLogMarginalLikelihood: empty data");
+  const double sn2 = std::exp(2.0 * log_sigma_n);
+
+  Matrix k = kernel.gram(x);
+  for (std::size_t i = 0; i < n; ++i) k(i, i) += sn2;
+  const linalg::Cholesky chol = linalg::Cholesky::factorWithJitter(k);
+  const Vector alpha = chol.solve(y);
+
+  const double nlml = 0.5 * dot(y, alpha) + 0.5 * chol.logDet() +
+                      0.5 * static_cast<double>(n) *
+                          std::log(2.0 * std::numbers::pi);
+
+  if (grad != nullptr) {
+    const std::size_t p = kernel.numParams();
+    *grad = Vector(p + 1);
+    // W = K⁻¹ − ααᵀ; ∂NLML/∂θ = ½ tr(W ∂K/∂θ).
+    Matrix w = chol.inverse();
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) w(i, j) -= alpha[i] * alpha[j];
+
+    Vector kgrad(p);
+    kernel.accumulateWeightedGrad(x, w, kgrad);
+    for (std::size_t i = 0; i < p; ++i) (*grad)[i] = 0.5 * kgrad[i];
+
+    // ∂K/∂log σ_n = 2 σ_n² I  ⇒  gradient is σ_n² tr(W).
+    double trace_w = 0.0;
+    for (std::size_t i = 0; i < n; ++i) trace_w += w(i, i);
+    (*grad)[p] = sn2 * trace_w;
+  }
+  return nlml;
+}
+
+GpRegressor::GpRegressor(std::unique_ptr<Kernel> kernel, GpConfig config)
+    : kernel_(std::move(kernel)), config_(config), rng_(config.seed) {
+  if (!kernel_) throw std::invalid_argument("GpRegressor: null kernel");
+}
+
+GpRegressor::GpRegressor(const GpRegressor& other)
+    : kernel_(other.kernel_->clone()),
+      config_(other.config_),
+      rng_(other.rng_),
+      x_(other.x_),
+      y_raw_(other.y_raw_),
+      y_std_(other.y_std_),
+      standardizer_(other.standardizer_),
+      log_sigma_n_(other.log_sigma_n_),
+      chol_(other.chol_ ? std::make_unique<linalg::Cholesky>(*other.chol_)
+                        : nullptr),
+      alpha_(other.alpha_) {}
+
+GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
+  if (this == &other) return *this;
+  GpRegressor tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
+
+void GpRegressor::fit(std::vector<Vector> x, std::vector<double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("GpRegressor::fit: size mismatch");
+  if (x.empty()) throw std::invalid_argument("GpRegressor::fit: empty data");
+  for (const Vector& xi : x)
+    if (xi.size() != kernel_->inputDim())
+      throw std::invalid_argument("GpRegressor::fit: input dim mismatch");
+  x_ = std::move(x);
+  y_raw_ = std::move(y);
+  train(/*warm_start=*/false);
+}
+
+void GpRegressor::setData(std::vector<Vector> x, std::vector<double> y) {
+  if (x.size() != y.size() || x.empty())
+    throw std::invalid_argument("GpRegressor::setData: bad data");
+  for (const Vector& xi : x)
+    if (xi.size() != kernel_->inputDim())
+      throw std::invalid_argument("GpRegressor::setData: input dim mismatch");
+  x_ = std::move(x);
+  y_raw_ = std::move(y);
+  standardizer_ = config_.standardize ? linalg::Standardizer(y_raw_)
+                                      : linalg::Standardizer();
+  y_std_ = Vector();  // force rebuildPosterior to restandardize
+  rebuildPosterior();
+}
+
+void GpRegressor::addPoint(const Vector& x, double y, bool retrain) {
+  if (x.size() != kernel_->inputDim())
+    throw std::invalid_argument("GpRegressor::addPoint: input dim mismatch");
+  x_.push_back(x);
+  y_raw_.push_back(y);
+  if (retrain) {
+    train(/*warm_start=*/true);
+  } else {
+    rebuildPosterior();
+  }
+}
+
+void GpRegressor::train(bool warm_start) {
+  // Standardize targets for this training set.
+  standardizer_ = config_.standardize ? linalg::Standardizer(y_raw_)
+                                      : linalg::Standardizer();
+  y_std_ = Vector(y_raw_.size());
+  for (std::size_t i = 0; i < y_raw_.size(); ++i)
+    y_std_[i] = standardizer_.apply(y_raw_[i]);
+
+  const std::size_t p = kernel_->numParams();
+
+  // Objective over θ = [kernel log-params..., log σ_n].
+  opt::GradObjective objective = [this, p](const Vector& theta,
+                                           Vector* grad) -> double {
+    Vector kp(p);
+    for (std::size_t i = 0; i < p; ++i) kp[i] = theta[i];
+    kernel_->setParams(kp);
+    try {
+      return negLogMarginalLikelihood(*kernel_, theta[p], x_, y_std_, grad);
+    } catch (const std::runtime_error&) {
+      // Cholesky failure even with max jitter: poison this region.
+      if (grad) *grad = Vector(p + 1, std::nan(""));
+      return std::nan("");
+    }
+  };
+
+  // Box for the optimizer: generic log-param bounds plus the noise bracket.
+  Vector lo(p + 1, config_.min_log_param);
+  Vector hi(p + 1, config_.max_log_param);
+  lo[p] = std::log(config_.min_noise_sd);
+  hi[p] = std::log(config_.max_noise_sd);
+  const linalg::Box box(lo, hi);
+
+  // Start list: current params (warm start / constructor defaults) plus
+  // random restarts.
+  std::vector<Vector> starts;
+  {
+    Vector start(p + 1);
+    const Vector kp = kernel_->params();
+    for (std::size_t i = 0; i < p; ++i) start[i] = kp[i];
+    start[p] = warm_start ? log_sigma_n_ : std::log(0.1);
+    starts.push_back(box.clamp(std::move(start)));
+  }
+  for (std::size_t r = 0; r < config_.n_restarts; ++r) {
+    Vector start(p + 1);
+    // Length scales and signal scales drawn around unity (inputs are
+    // normalized to [0,1] by the BO layer, outputs standardized here).
+    for (std::size_t i = 0; i < p; ++i)
+      start[i] = rng_.uniform(std::log(0.05), std::log(2.0));
+    start[p] = rng_.uniform(std::log(1e-3), std::log(0.3));
+    starts.push_back(box.clamp(std::move(start)));
+  }
+
+  double best_nlml = std::numeric_limits<double>::max();
+  Vector best_theta;
+  for (const Vector& s : starts) {
+    const opt::OptResult r = opt::lbfgsMinimize(objective, s, box,
+                                                config_.lbfgs);
+    if (std::isfinite(r.value) && r.value < best_nlml) {
+      best_nlml = r.value;
+      best_theta = r.x;
+    }
+  }
+  if (best_theta.empty()) {
+    // Every start failed (numerically hopeless data): keep defaults with a
+    // large noise so the model degrades to the prior instead of crashing.
+    best_theta = starts.front();
+    best_theta[p] = std::log(config_.max_noise_sd);
+  }
+
+  Vector kp(p);
+  for (std::size_t i = 0; i < p; ++i) kp[i] = best_theta[i];
+  kernel_->setParams(kp);
+  log_sigma_n_ = best_theta[p];
+  rebuildPosterior();
+}
+
+void GpRegressor::rebuildPosterior() {
+  // Keep the standardizer fixed between retrains so cached alpha matches;
+  // recompute standardized targets for any newly appended raw values.
+  if (y_std_.size() != y_raw_.size()) {
+    y_std_ = Vector(y_raw_.size());
+    for (std::size_t i = 0; i < y_raw_.size(); ++i)
+      y_std_[i] = standardizer_.apply(y_raw_[i]);
+  }
+  const std::size_t n = x_.size();
+  Matrix k = kernel_->gram(x_);
+  const double sn2 = std::exp(2.0 * log_sigma_n_);
+  for (std::size_t i = 0; i < n; ++i) k(i, i) += sn2;
+  chol_ = std::make_unique<linalg::Cholesky>(
+      linalg::Cholesky::factorWithJitter(k));
+  alpha_ = chol_->solve(y_std_);
+}
+
+Prediction GpRegressor::predict(const Vector& x) const {
+  if (!fitted())
+    throw std::logic_error("GpRegressor::predict: model is not fitted");
+  const Vector ks = kernel_->cross(x_, x);
+  const double mu_z = dot(ks, alpha_);
+  // σ² = σ_n² + k(x,x) − k*ᵀ (K + σ_n² I)⁻¹ k*   (eq. 4)
+  const Vector v = chol_->solveLower(ks);
+  double var_z = std::exp(2.0 * log_sigma_n_) + kernel_->eval(x, x) -
+                 v.squaredNorm();
+  var_z = std::max(var_z, 1e-12);
+  return {standardizer_.unapply(mu_z), standardizer_.unapplyVariance(var_z)};
+}
+
+double GpRegressor::currentNlml() const {
+  if (!fitted())
+    throw std::logic_error("GpRegressor::currentNlml: model is not fitted");
+  return negLogMarginalLikelihood(*kernel_, log_sigma_n_, x_, y_std_);
+}
+
+const linalg::Cholesky& GpRegressor::posteriorCholesky() const {
+  if (!chol_)
+    throw std::logic_error("GpRegressor::posteriorCholesky: not fitted");
+  return *chol_;
+}
+
+double GpRegressor::bestObserved() const {
+  if (!fitted())
+    throw std::logic_error("GpRegressor::bestObserved: model is not fitted");
+  return *std::min_element(y_raw_.begin(), y_raw_.end());
+}
+
+}  // namespace mfbo::gp

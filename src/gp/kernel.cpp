@@ -1,0 +1,242 @@
+#include "gp/kernel.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace mfbo::gp {
+
+Matrix Kernel::gram(const std::vector<Vector>& x) const {
+  const std::size_t n = x.size();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = eval(x[i], x[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Vector Kernel::cross(const std::vector<Vector>& x,
+                     const Vector& x_star) const {
+  Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = eval(x_star, x[i]);
+  return out;
+}
+
+// ------------------------------------------------------------- SeArdKernel
+
+SeArdKernel::SeArdKernel(std::size_t dim, double sigma_f, double lengthscale)
+    : log_sigma_f_(std::log(sigma_f)), log_l_(dim, std::log(lengthscale)) {
+  if (dim == 0) throw std::invalid_argument("SeArdKernel: dim must be >= 1");
+  if (sigma_f <= 0.0 || lengthscale <= 0.0)
+    throw std::invalid_argument("SeArdKernel: scales must be positive");
+}
+
+Vector SeArdKernel::params() const {
+  Vector p(numParams());
+  p[0] = log_sigma_f_;
+  for (std::size_t i = 0; i < log_l_.size(); ++i) p[1 + i] = log_l_[i];
+  return p;
+}
+
+void SeArdKernel::setParams(const Vector& p) {
+  assert(p.size() == numParams());
+  log_sigma_f_ = p[0];
+  for (std::size_t i = 0; i < log_l_.size(); ++i) log_l_[i] = p[1 + i];
+}
+
+std::string SeArdKernel::paramName(std::size_t i) const {
+  if (i == 0) return "log_sigma_f";
+  return "log_l" + std::to_string(i - 1);
+}
+
+double SeArdKernel::sigmaF() const { return std::exp(log_sigma_f_); }
+
+double SeArdKernel::lengthscale(std::size_t i) const {
+  assert(i < log_l_.size());
+  return std::exp(log_l_[i]);
+}
+
+double SeArdKernel::eval(const Vector& a, const Vector& b) const {
+  assert(a.size() == inputDim() && b.size() == inputDim());
+  double q = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    const double inv_l = std::exp(-log_l_[i]);
+    const double scaled = diff * inv_l;
+    q += scaled * scaled;
+  }
+  return std::exp(2.0 * log_sigma_f_ - 0.5 * q);
+}
+
+void SeArdKernel::accumulateWeightedGrad(const std::vector<Vector>& x,
+                                         const Matrix& w,
+                                         Vector& grad) const {
+  assert(grad.size() == numParams());
+  const std::size_t n = x.size();
+  const std::size_t d = log_l_.size();
+  std::vector<double> inv_l2(d);
+  for (std::size_t i = 0; i < d; ++i) inv_l2[i] = std::exp(-2.0 * log_l_[i]);
+  std::vector<double> scaled_sq(d);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double q = 0.0;
+      for (std::size_t t = 0; t < d; ++t) {
+        const double diff = x[i][t] - x[j][t];
+        scaled_sq[t] = diff * diff * inv_l2[t];
+        q += scaled_sq[t];
+      }
+      const double k = std::exp(2.0 * log_sigma_f_ - 0.5 * q);
+      const double weight = (i == j) ? w(i, j) : 2.0 * w(i, j);
+      // ∂k/∂log σ_f = 2k ; ∂k/∂log l_t = k · (Δ_t/l_t)².
+      grad[0] += weight * 2.0 * k;
+      for (std::size_t t = 0; t < d; ++t)
+        grad[1 + t] += weight * k * scaled_sq[t];
+    }
+  }
+}
+
+// ------------------------------------------------------------- NargpKernel
+
+NargpKernel::NargpKernel(std::size_t x_dim)
+    : x_dim_(x_dim),
+      log_l_rho_(std::log(0.5)),
+      log_sf2_(std::log(1.0)),
+      log_l2_(x_dim, std::log(0.5)),
+      log_sf3_(std::log(0.3)),
+      log_l3_(x_dim, std::log(0.5)) {
+  if (x_dim == 0) throw std::invalid_argument("NargpKernel: x_dim must be >= 1");
+}
+
+Vector NargpKernel::params() const {
+  Vector p(numParams());
+  std::size_t k = 0;
+  p[k++] = log_l_rho_;
+  p[k++] = log_sf2_;
+  for (std::size_t i = 0; i < x_dim_; ++i) p[k++] = log_l2_[i];
+  p[k++] = log_sf3_;
+  for (std::size_t i = 0; i < x_dim_; ++i) p[k++] = log_l3_[i];
+  return p;
+}
+
+void NargpKernel::setParams(const Vector& p) {
+  assert(p.size() == numParams());
+  std::size_t k = 0;
+  log_l_rho_ = p[k++];
+  log_sf2_ = p[k++];
+  for (std::size_t i = 0; i < x_dim_; ++i) log_l2_[i] = p[k++];
+  log_sf3_ = p[k++];
+  for (std::size_t i = 0; i < x_dim_; ++i) log_l3_[i] = p[k++];
+}
+
+std::string NargpKernel::paramName(std::size_t i) const {
+  if (i == 0) return "log_l_rho";
+  if (i == 1) return "log_sf2";
+  if (i < 2 + x_dim_) return "log_l2_" + std::to_string(i - 2);
+  if (i == 2 + x_dim_) return "log_sf3";
+  return "log_l3_" + std::to_string(i - 3 - x_dim_);
+}
+
+NargpKernel::Parts NargpKernel::evalParts(const Vector& a,
+                                          const Vector& b) const {
+  assert(a.size() == inputDim() && b.size() == inputDim());
+  const double dy = a[x_dim_] - b[x_dim_];
+  const double inv_lr = std::exp(-log_l_rho_);
+  const double k1 = std::exp(-0.5 * dy * dy * inv_lr * inv_lr);
+
+  double q2 = 0.0, q3 = 0.0;
+  for (std::size_t i = 0; i < x_dim_; ++i) {
+    const double diff = a[i] - b[i];
+    const double s2 = diff * std::exp(-log_l2_[i]);
+    const double s3 = diff * std::exp(-log_l3_[i]);
+    q2 += s2 * s2;
+    q3 += s3 * s3;
+  }
+  const double k2 = std::exp(2.0 * log_sf2_ - 0.5 * q2);
+  const double k3 = std::exp(2.0 * log_sf3_ - 0.5 * q3);
+  return {k1, k2, k3};
+}
+
+double NargpKernel::k1Scalar(double y_a, double y_b) const {
+  const double dy = (y_a - y_b) * std::exp(-log_l_rho_);
+  return std::exp(-0.5 * dy * dy);
+}
+
+void NargpKernel::crossXParts(const std::vector<Vector>& z,
+                              const Vector& x_star, Vector& c2,
+                              Vector& c3) const {
+  assert(x_star.size() >= x_dim_);
+  const std::size_t n = z.size();
+  c2 = Vector(n);
+  c3 = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double q2 = 0.0, q3 = 0.0;
+    for (std::size_t t = 0; t < x_dim_; ++t) {
+      const double diff = x_star[t] - z[i][t];
+      const double s2 = diff * std::exp(-log_l2_[t]);
+      const double s3 = diff * std::exp(-log_l3_[t]);
+      q2 += s2 * s2;
+      q3 += s3 * s3;
+    }
+    c2[i] = std::exp(2.0 * log_sf2_ - 0.5 * q2);
+    c3[i] = std::exp(2.0 * log_sf3_ - 0.5 * q3);
+  }
+}
+
+double NargpKernel::selfVariance() const {
+  return std::exp(2.0 * log_sf2_) + std::exp(2.0 * log_sf3_);
+}
+
+double NargpKernel::eval(const Vector& a, const Vector& b) const {
+  const Parts p = evalParts(a, b);
+  return p.k1 * p.k2 + p.k3;
+}
+
+void NargpKernel::accumulateWeightedGrad(const std::vector<Vector>& x,
+                                         const Matrix& w,
+                                         Vector& grad) const {
+  assert(grad.size() == numParams());
+  const std::size_t n = x.size();
+  const double inv_lr2 = std::exp(-2.0 * log_l_rho_);
+  std::vector<double> inv_l2_sq(x_dim_), inv_l3_sq(x_dim_);
+  for (std::size_t i = 0; i < x_dim_; ++i) {
+    inv_l2_sq[i] = std::exp(-2.0 * log_l2_[i]);
+    inv_l3_sq[i] = std::exp(-2.0 * log_l3_[i]);
+  }
+  std::vector<double> s2(x_dim_), s3(x_dim_);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double dy = x[i][x_dim_] - x[j][x_dim_];
+      const double ry = dy * dy * inv_lr2;  // (Δy/l_ρ)²
+      const double k1 = std::exp(-0.5 * ry);
+      double q2 = 0.0, q3 = 0.0;
+      for (std::size_t t = 0; t < x_dim_; ++t) {
+        const double diff = x[i][t] - x[j][t];
+        s2[t] = diff * diff * inv_l2_sq[t];
+        s3[t] = diff * diff * inv_l3_sq[t];
+        q2 += s2[t];
+        q3 += s3[t];
+      }
+      const double k2 = std::exp(2.0 * log_sf2_ - 0.5 * q2);
+      const double k3 = std::exp(2.0 * log_sf3_ - 0.5 * q3);
+      const double weight = (i == j) ? w(i, j) : 2.0 * w(i, j);
+      const double k12 = k1 * k2;
+
+      std::size_t g = 0;
+      grad[g++] += weight * k12 * ry;          // ∂/∂log l_ρ
+      grad[g++] += weight * 2.0 * k12;         // ∂/∂log σ_f2
+      for (std::size_t t = 0; t < x_dim_; ++t)
+        grad[g++] += weight * k12 * s2[t];     // ∂/∂log l2_t
+      grad[g++] += weight * 2.0 * k3;          // ∂/∂log σ_f3
+      for (std::size_t t = 0; t < x_dim_; ++t)
+        grad[g++] += weight * k3 * s3[t];      // ∂/∂log l3_t
+    }
+  }
+}
+
+}  // namespace mfbo::gp

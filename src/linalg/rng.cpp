@@ -1,0 +1,64 @@
+#include "linalg/rng.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mfbo::linalg {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double sd) {
+  assert(sd >= 0.0);
+  return mean + sd * normal_(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n >= 1);
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+Vector Rng::uniformVector(std::size_t d, double lo, double hi) {
+  Vector v(d);
+  for (std::size_t i = 0; i < d; ++i) v[i] = uniform(lo, hi);
+  return v;
+}
+
+Vector Rng::normalVector(std::size_t d) {
+  Vector v(d);
+  for (std::size_t i = 0; i < d; ++i) v[i] = normal();
+  return v;
+}
+
+std::vector<std::size_t> Rng::distinctIndices(std::size_t k, std::size_t n,
+                                              std::size_t exclude) {
+  const std::size_t available = exclude < n ? n - 1 : n;
+  if (k > available)
+    throw std::invalid_argument("Rng::distinctIndices: not enough candidates");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const std::size_t candidate = index(n);
+    if (candidate == exclude) continue;
+    bool seen = false;
+    for (std::size_t s : out)
+      if (s == candidate) {
+        seen = true;
+        break;
+      }
+    if (!seen) out.push_back(candidate);
+  }
+  return out;
+}
+
+Rng Rng::fork() {
+  // Derive a decorrelated child seed from this engine's stream.
+  const std::uint64_t child_seed =
+      engine_() ^ 0x9E3779B97F4A7C15ull;
+  return Rng(child_seed);
+}
+
+}  // namespace mfbo::linalg

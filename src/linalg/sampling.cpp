@@ -1,0 +1,90 @@
+#include "linalg/sampling.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mfbo::linalg {
+
+Box::Box(Vector lo, Vector hi) : lower(std::move(lo)), upper(std::move(hi)) {
+  if (lower.size() != upper.size())
+    throw std::invalid_argument("Box: dimension mismatch");
+  for (std::size_t i = 0; i < lower.size(); ++i)
+    if (lower[i] > upper[i])
+      throw std::invalid_argument("Box: lower bound exceeds upper bound");
+}
+
+Box Box::unitCube(std::size_t d) {
+  return Box(Vector(d, 0.0), Vector(d, 1.0));
+}
+
+Vector Box::clamp(Vector x) const {
+  for (std::size_t i = 0; i < dim(); ++i)
+    x[i] = std::clamp(x[i], lower[i], upper[i]);
+  return x;
+}
+
+bool Box::contains(const Vector& x) const {
+  for (std::size_t i = 0; i < dim(); ++i)
+    if (x[i] < lower[i] || x[i] > upper[i]) return false;
+  return true;
+}
+
+Vector Box::fromUnit(const Vector& u) const {
+  Vector x(dim());
+  for (std::size_t i = 0; i < dim(); ++i)
+    x[i] = lower[i] + u[i] * (upper[i] - lower[i]);
+  return x;
+}
+
+Vector Box::toUnit(const Vector& x) const {
+  Vector u(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    const double w = upper[i] - lower[i];
+    u[i] = w > 0.0 ? (x[i] - lower[i]) / w : 0.0;
+  }
+  return u;
+}
+
+Vector Box::widths() const {
+  Vector w(dim());
+  for (std::size_t i = 0; i < dim(); ++i) w[i] = upper[i] - lower[i];
+  return w;
+}
+
+std::vector<Vector> latinHypercube(std::size_t n, const Box& box, Rng& rng) {
+  const std::size_t d = box.dim();
+  std::vector<Vector> samples(n, Vector(d));
+  std::vector<std::size_t> perm(n);
+  for (std::size_t j = 0; j < d; ++j) {
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    rng.shuffle(perm);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double u =
+          (static_cast<double>(perm[i]) + rng.uniform()) /
+          static_cast<double>(n);
+      samples[i][j] = box.lower[j] + u * (box.upper[j] - box.lower[j]);
+    }
+  }
+  return samples;
+}
+
+std::vector<Vector> uniformSamples(std::size_t n, const Box& box, Rng& rng) {
+  std::vector<Vector> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    samples.push_back(box.fromUnit(rng.uniformVector(box.dim())));
+  return samples;
+}
+
+Vector gaussianJitterInBox(const Vector& center, double relative_sd,
+                           const Box& box, Rng& rng) {
+  Vector x(center.size());
+  for (std::size_t i = 0; i < center.size(); ++i) {
+    const double sd = relative_sd * (box.upper[i] - box.lower[i]);
+    x[i] = rng.normal(center[i], sd);
+  }
+  return box.clamp(std::move(x));
+}
+
+}  // namespace mfbo::linalg

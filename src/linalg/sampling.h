@@ -1,0 +1,53 @@
+// mfbo::linalg — space-filling designs over box-constrained domains.
+//
+// Latin hypercube sampling seeds both the initial training sets (Algorithm 1
+// step 1) and the random fraction of the multiple-starting-point scatter
+// (paper §4.1).
+#pragma once
+
+#include <vector>
+
+#include "linalg/rng.h"
+#include "linalg/vector.h"
+
+namespace mfbo::linalg {
+
+/// Axis-aligned box [lower_i, upper_i]^d. The invariant lower ≤ upper
+/// element-wise is checked on construction.
+struct Box {
+  Vector lower;
+  Vector upper;
+
+  Box() = default;
+  Box(Vector lo, Vector hi);
+  /// Unit cube [0,1]^d.
+  static Box unitCube(std::size_t d);
+
+  std::size_t dim() const { return lower.size(); }
+  /// Clamp x into the box element-wise.
+  Vector clamp(Vector x) const;
+  /// True if x lies inside (inclusive).
+  bool contains(const Vector& x) const;
+  /// Map a point in [0,1]^d to this box.
+  Vector fromUnit(const Vector& u) const;
+  /// Map a point of this box to [0,1]^d (degenerate dims map to 0).
+  Vector toUnit(const Vector& x) const;
+  /// Side length per dimension.
+  Vector widths() const;
+};
+
+/// n Latin-hypercube samples in @p box: each dimension is split into n
+/// equal strata, each stratum is hit exactly once, positions within strata
+/// and the pairing across dimensions are randomized.
+std::vector<Vector> latinHypercube(std::size_t n, const Box& box, Rng& rng);
+
+/// n independent uniform samples in @p box.
+std::vector<Vector> uniformSamples(std::size_t n, const Box& box, Rng& rng);
+
+/// Sample from an isotropic Gaussian ball centred at @p center with
+/// per-dimension sd = @p relative_sd · box width, clamped into the box.
+/// This is the "scatter a fraction of starts around τ" move of §4.1.
+Vector gaussianJitterInBox(const Vector& center, double relative_sd,
+                           const Box& box, Rng& rng);
+
+}  // namespace mfbo::linalg

@@ -1,0 +1,72 @@
+// mfbo::linalg — scalar statistics used by the BO layer.
+//
+// Normal pdf/cdf back the Expected Improvement and Probability of
+// Feasibility formulas (paper eqs. 5-6); Standardizer implements the z-score
+// output normalization applied before GP fitting; summary() produces the
+// mean/median/best/worst rows of the paper's result tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mfbo::linalg {
+
+/// Standard normal probability density φ(x).
+double normalPdf(double x);
+
+/// Standard normal cumulative distribution Φ(x).
+double normalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.2e-9 over (0,1)). Throws std::domain_error outside (0,1).
+double normalQuantile(double p);
+
+/// Sample mean; requires non-empty input.
+double mean(const std::vector<double>& v);
+
+/// Unbiased sample variance (n-1 denominator); returns 0 for n < 2.
+double variance(const std::vector<double>& v);
+
+/// Sample standard deviation.
+double stddev(const std::vector<double>& v);
+
+/// Median (average of middle two for even n); requires non-empty input.
+double median(std::vector<double> v);
+
+/// mean/median/best/worst summary of repeated optimization runs, matching
+/// the rows of the paper's Tables 1-2. `lower_is_better` selects which
+/// extreme counts as "best".
+struct RunSummary {
+  double mean = 0.0;
+  double median = 0.0;
+  double best = 0.0;
+  double worst = 0.0;
+  double stddev = 0.0;
+};
+RunSummary summarizeRuns(const std::vector<double>& values,
+                         bool lower_is_better);
+
+/// Affine map y ↦ (y − mean)/sd fitted on a sample. GP outputs are
+/// standardized with this before hyperparameter training; predictions are
+/// mapped back with unapply()/unapplyVariance().
+class Standardizer {
+ public:
+  Standardizer() = default;
+  /// Fit on a sample. A degenerate (constant) sample gets sd = 1 so that
+  /// apply() stays well-defined.
+  explicit Standardizer(const std::vector<double>& sample);
+
+  double apply(double y) const { return (y - mean_) / sd_; }
+  double unapply(double z) const { return z * sd_ + mean_; }
+  /// Map a variance from standardized space back to original units.
+  double unapplyVariance(double var) const { return var * sd_ * sd_; }
+
+  double mean() const { return mean_; }
+  double sd() const { return sd_; }
+
+ private:
+  double mean_ = 0.0;
+  double sd_ = 1.0;
+};
+
+}  // namespace mfbo::linalg

@@ -1,0 +1,117 @@
+#include "linalg/vector.h"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+
+namespace mfbo::linalg {
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  assert(size() == rhs.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  assert(size() == rhs.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Vector& Vector::operator/=(double s) {
+  for (double& v : data_) v /= s;
+  return *this;
+}
+
+double Vector::norm() const { return std::sqrt(squaredNorm()); }
+
+double Vector::squaredNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return acc;
+}
+
+double Vector::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Vector::mean() const {
+  assert(!data_.empty());
+  return sum() / static_cast<double>(data_.size());
+}
+
+double Vector::max() const {
+  assert(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Vector::min() const {
+  assert(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+std::size_t Vector::argmin() const {
+  assert(!data_.empty());
+  return static_cast<std::size_t>(
+      std::min_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+std::size_t Vector::argmax() const {
+  assert(!data_.empty());
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+bool Vector::allFinite() const {
+  return std::all_of(data_.begin(), data_.end(),
+                     [](double v) { return std::isfinite(v); });
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+Vector operator*(Vector v, double s) { return v *= s; }
+Vector operator*(double s, Vector v) { return v *= s; }
+Vector operator/(Vector v, double s) { return v /= s; }
+
+Vector operator-(Vector v) {
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = -v[i];
+  return v;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Vector cwiseProduct(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+double maxAbsDiff(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vector& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  return os << ']';
+}
+
+}  // namespace mfbo::linalg

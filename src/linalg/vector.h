@@ -1,0 +1,104 @@
+// mfbo::linalg — dense real vector.
+//
+// A thin, bounds-checked wrapper around a contiguous buffer of doubles with
+// the arithmetic the GP / BO layers need. Deliberately minimal: no
+// expression templates, no views — problem sizes in this library are a few
+// hundred at most, and clarity beats cleverness at that scale.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace mfbo::linalg {
+
+/// Dense vector of doubles.
+///
+/// Invariant: size() equals the logical dimension; all elements are finite
+/// unless the caller deliberately stores non-finite values (the library never
+/// does).
+class Vector {
+ public:
+  Vector() = default;
+  /// Zero-initialized vector of dimension @p n.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+  /// Vector of dimension @p n with every element set to @p value.
+  Vector(std::size_t n, double value) : data_(n, value) {}
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  const std::vector<double>& raw() const { return data_; }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s);
+  Vector& operator/=(double s);
+
+  /// Euclidean norm.
+  double norm() const;
+  /// Squared Euclidean norm.
+  double squaredNorm() const;
+  /// Sum of elements.
+  double sum() const;
+  /// Arithmetic mean; requires non-empty.
+  double mean() const;
+  /// Largest element; requires non-empty.
+  double max() const;
+  /// Smallest element; requires non-empty.
+  double min() const;
+  /// Index of the smallest element; requires non-empty.
+  std::size_t argmin() const;
+  /// Index of the largest element; requires non-empty.
+  std::size_t argmax() const;
+  /// True if every element is finite.
+  bool allFinite() const;
+
+  /// Append one element (used when growing training sets incrementally).
+  void push_back(double v) { data_.push_back(v); }
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator+(Vector lhs, const Vector& rhs);
+Vector operator-(Vector lhs, const Vector& rhs);
+Vector operator*(Vector v, double s);
+Vector operator*(double s, Vector v);
+Vector operator/(Vector v, double s);
+Vector operator-(Vector v);
+
+/// Dot product; dimensions must agree.
+double dot(const Vector& a, const Vector& b);
+
+/// Element-wise product.
+Vector cwiseProduct(const Vector& a, const Vector& b);
+
+/// Maximum absolute difference between two equally sized vectors.
+double maxAbsDiff(const Vector& a, const Vector& b);
+
+std::ostream& operator<<(std::ostream& os, const Vector& v);
+
+}  // namespace mfbo::linalg

@@ -1,0 +1,80 @@
+#include "mf/ar1.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mfbo::mf {
+
+Ar1Model::Ar1Model(std::size_t x_dim, Ar1Config config)
+    : x_dim_(x_dim),
+      config_(config),
+      low_gp_(std::make_unique<gp::SeArdKernel>(x_dim), config.low),
+      delta_gp_(std::make_unique<gp::SeArdKernel>(x_dim), config.delta) {
+  if (x_dim == 0) throw std::invalid_argument("Ar1Model: x_dim must be >= 1");
+}
+
+void Ar1Model::fit(std::vector<Vector> x_low, std::vector<double> y_low,
+                   std::vector<Vector> x_high, std::vector<double> y_high) {
+  if (x_low.empty() || x_high.empty())
+    throw std::invalid_argument("Ar1Model::fit: both fidelity sets required");
+  if (x_high.size() != y_high.size())
+    throw std::invalid_argument("Ar1Model::fit: high-fidelity size mismatch");
+  low_gp_.fit(std::move(x_low), std::move(y_low));
+  x_high_ = std::move(x_high);
+  y_high_ = std::move(y_high);
+  rebuildDelta(/*retrain=*/true);
+}
+
+void Ar1Model::addLow(const Vector& x, double y, bool retrain) {
+  low_gp_.addPoint(x, y, retrain);
+  rebuildDelta(retrain);
+}
+
+void Ar1Model::addHigh(const Vector& x, double y, bool retrain) {
+  if (x.size() != x_dim_)
+    throw std::invalid_argument("Ar1Model::addHigh: input dim mismatch");
+  x_high_.push_back(x);
+  y_high_.push_back(y);
+  rebuildDelta(retrain);
+}
+
+void Ar1Model::rebuildDelta(bool retrain) {
+  // ρ by least squares: minimize Σ (y_h − ρ·µ_l)² ⇒ ρ = Σ µ y / Σ µ².
+  double num = 0.0, den = 0.0;
+  std::vector<double> mu_low(x_high_.size());
+  for (std::size_t i = 0; i < x_high_.size(); ++i) {
+    mu_low[i] = low_gp_.predict(x_high_[i]).mean;
+    num += mu_low[i] * y_high_[i];
+    den += mu_low[i] * mu_low[i];
+  }
+  rho_ = den > 1e-12 ? num / den : 1.0;
+
+  std::vector<double> residuals(x_high_.size());
+  for (std::size_t i = 0; i < x_high_.size(); ++i)
+    residuals[i] = y_high_[i] - rho_ * mu_low[i];
+  if (retrain || !delta_gp_.fitted()) {
+    delta_gp_.fit(x_high_, residuals);
+  } else {
+    delta_gp_.setData(x_high_, residuals);
+  }
+}
+
+Prediction Ar1Model::predictLow(const Vector& x) const {
+  return low_gp_.predict(x);
+}
+
+Prediction Ar1Model::predictHigh(const Vector& x) const {
+  const Prediction low = low_gp_.predict(x);
+  const Prediction delta = delta_gp_.predict(x);
+  // Independence of f_l and δ: variances add with ρ² scaling (eq. 7).
+  return {rho_ * low.mean + delta.mean, rho_ * rho_ * low.var + delta.var};
+}
+
+double Ar1Model::bestHighObserved() const {
+  if (y_high_.empty())
+    throw std::logic_error("Ar1Model::bestHighObserved: no high data");
+  return *std::min_element(y_high_.begin(), y_high_.end());
+}
+
+}  // namespace mfbo::mf

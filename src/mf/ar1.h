@@ -1,0 +1,52 @@
+// mfbo::mf — linear auto-regressive cokriging baseline (Kennedy & O'Hagan
+// 2000, the paper's eq. 7): f_h(x) = ρ·f_l(x) + δ(x).
+//
+// Used in the fusion ablation to show what the *nonlinear* NARGP map buys
+// over the classic linear correlation assumption.
+#pragma once
+
+#include "mf/mf_surrogate.h"
+
+namespace mfbo::mf {
+
+struct Ar1Config {
+  gp::GpConfig low;
+  gp::GpConfig delta;
+};
+
+/// Linear two-fidelity cokriging: a low-fidelity GP plus an independent
+/// discrepancy GP on the residuals y_h − ρ·µ_l(x_h). The scale ρ is
+/// estimated by least squares between µ_l(x_h) and y_h at every rebuild.
+class Ar1Model final : public MfSurrogate {
+ public:
+  explicit Ar1Model(std::size_t x_dim, Ar1Config config = {});
+
+  void fit(std::vector<Vector> x_low, std::vector<double> y_low,
+           std::vector<Vector> x_high, std::vector<double> y_high) override;
+  void addLow(const Vector& x, double y, bool retrain = true) override;
+  void addHigh(const Vector& x, double y, bool retrain = true) override;
+
+  Prediction predictLow(const Vector& x) const override;
+  Prediction predictHigh(const Vector& x) const override;
+
+  std::size_t numLow() const override { return low_gp_.size(); }
+  std::size_t numHigh() const override { return x_high_.size(); }
+  double bestLowObserved() const override { return low_gp_.bestObserved(); }
+  double bestHighObserved() const override;
+  double lowOutputSd() const override { return low_gp_.outputSd(); }
+
+  double rho() const { return rho_; }
+
+ private:
+  void rebuildDelta(bool retrain);
+
+  std::size_t x_dim_;
+  Ar1Config config_;
+  gp::GpRegressor low_gp_;
+  gp::GpRegressor delta_gp_;
+  std::vector<Vector> x_high_;
+  std::vector<double> y_high_;
+  double rho_ = 1.0;
+};
+
+}  // namespace mfbo::mf

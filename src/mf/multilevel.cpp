@@ -1,0 +1,147 @@
+#include "mf/multilevel.h"
+
+#include <stdexcept>
+
+namespace mfbo::mf {
+
+namespace {
+
+linalg::Vector augment(const linalg::Vector& x, double y_below) {
+  linalg::Vector z(x.size() + 1);
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i];
+  z[x.size()] = y_below;
+  return z;
+}
+
+}  // namespace
+
+MultilevelNargp::MultilevelNargp(std::size_t x_dim, std::size_t n_levels,
+                                 MultilevelConfig config)
+    : x_dim_(x_dim), config_(config), rng_(config.seed) {
+  if (x_dim == 0)
+    throw std::invalid_argument("MultilevelNargp: x_dim must be >= 1");
+  if (n_levels < 2)
+    throw std::invalid_argument("MultilevelNargp: need at least 2 levels");
+  if (config_.n_mc == 0)
+    throw std::invalid_argument("MultilevelNargp: n_mc must be >= 1");
+  gps_.reserve(n_levels);
+  for (std::size_t l = 0; l < n_levels; ++l) {
+    gp::GpConfig cfg = config_.gp;
+    cfg.seed = config_.seed * 101u + l;
+    if (l == 0) {
+      gps_.emplace_back(std::make_unique<gp::SeArdKernel>(x_dim), cfg);
+    } else {
+      gps_.emplace_back(std::make_unique<gp::NargpKernel>(x_dim), cfg);
+    }
+  }
+  x_.resize(n_levels);
+  y_.resize(n_levels);
+  draws_.resize(n_levels);
+  for (auto& d : draws_) d = rng_.normalVector(config_.n_mc);
+}
+
+void MultilevelNargp::fit(
+    std::vector<std::vector<linalg::Vector>> x_per_level,
+    std::vector<std::vector<double>> y_per_level) {
+  if (x_per_level.size() != numLevels() ||
+      y_per_level.size() != numLevels())
+    throw std::invalid_argument("MultilevelNargp::fit: level count mismatch");
+  for (std::size_t l = 0; l < numLevels(); ++l) {
+    if (x_per_level[l].empty() ||
+        x_per_level[l].size() != y_per_level[l].size())
+      throw std::invalid_argument("MultilevelNargp::fit: bad level data");
+  }
+  x_ = std::move(x_per_level);
+  y_ = std::move(y_per_level);
+  rebuildFrom(0, /*retrain=*/true);
+}
+
+void MultilevelNargp::add(std::size_t level, const linalg::Vector& x,
+                          double y, bool retrain) {
+  if (level >= numLevels())
+    throw std::out_of_range("MultilevelNargp::add: bad level");
+  if (x.size() != x_dim_)
+    throw std::invalid_argument("MultilevelNargp::add: input dim mismatch");
+  x_[level].push_back(x);
+  y_[level].push_back(y);
+  rebuildFrom(level, retrain);
+}
+
+void MultilevelNargp::rebuildFrom(std::size_t from, bool retrain) {
+  for (std::size_t l = from; l < numLevels(); ++l) {
+    if (l == 0) {
+      if (retrain || !gps_[0].fitted()) {
+        gps_[0].fit(x_[0], y_[0]);
+      } else {
+        gps_[0].setData(x_[0], y_[0]);
+      }
+      continue;
+    }
+    std::vector<linalg::Vector> z;
+    z.reserve(x_[l].size());
+    for (const linalg::Vector& xi : x_[l])
+      z.push_back(augment(xi, predict(l - 1, xi).mean));
+    if (retrain || !gps_[l].fitted()) {
+      gps_[l].fit(std::move(z), y_[l]);
+    } else {
+      gps_[l].setData(std::move(z), y_[l]);
+    }
+  }
+  // Fresh common random numbers for the MC cascade — only when the
+  // hyperparameters moved. Cheap posterior-only updates keep the draws so
+  // that variance comparisons before/after an added point are apples to
+  // apples.
+  if (retrain)
+    for (auto& d : draws_) d = rng_.normalVector(config_.n_mc);
+}
+
+gp::Prediction MultilevelNargp::predict(std::size_t level,
+                                        const linalg::Vector& x) const {
+  if (level >= numLevels())
+    throw std::out_of_range("MultilevelNargp::predict: bad level");
+  if (!gps_[0].fitted())
+    throw std::logic_error("MultilevelNargp::predict: model is not fitted");
+  const gp::Prediction base = gps_[0].predict(x);
+  if (level == 0) return base;
+
+  // Propagate n_mc samples up the cascade with per-level common random
+  // numbers; apply the law of total variance at the target level.
+  const std::size_t n = config_.n_mc;
+  std::vector<double> samples(n);
+  for (std::size_t i = 0; i < n; ++i)
+    samples[i] = base.mean + base.sd() * draws_[0][i];
+
+  double mean_acc = 0.0, mean_sq_acc = 0.0, var_acc = 0.0;
+  for (std::size_t l = 1; l <= level; ++l) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const gp::Prediction p = gps_[l].predict(augment(x, samples[i]));
+      if (l == level) {
+        mean_acc += p.mean;
+        mean_sq_acc += p.mean * p.mean;
+        var_acc += p.var;
+      } else {
+        samples[i] = p.mean + p.sd() * draws_[l][i];
+      }
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double mean = mean_acc * inv_n;
+  const double within = var_acc * inv_n;
+  const double between =
+      std::max(0.0, mean_sq_acc * inv_n - mean * mean);
+  return {mean, within + between};
+}
+
+std::size_t MultilevelNargp::numPoints(std::size_t level) const {
+  if (level >= numLevels())
+    throw std::out_of_range("MultilevelNargp::numPoints: bad level");
+  return x_[level].size();
+}
+
+const gp::GpRegressor& MultilevelNargp::levelGp(std::size_t level) const {
+  if (level >= numLevels())
+    throw std::out_of_range("MultilevelNargp::levelGp: bad level");
+  return gps_[level];
+}
+
+}  // namespace mfbo::mf

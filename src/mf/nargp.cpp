@@ -1,0 +1,137 @@
+#include "mf/nargp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mfbo::mf {
+
+namespace {
+
+Vector augment(const Vector& x, double y_low) {
+  Vector z(x.size() + 1);
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i];
+  z[x.size()] = y_low;
+  return z;
+}
+
+}  // namespace
+
+NargpModel::NargpModel(std::size_t x_dim, NargpConfig config)
+    : x_dim_(x_dim),
+      config_(config),
+      rng_(config.seed),
+      low_gp_(std::make_unique<gp::SeArdKernel>(x_dim), config.low),
+      high_gp_(std::make_unique<gp::NargpKernel>(x_dim), config.high) {
+  if (x_dim == 0) throw std::invalid_argument("NargpModel: x_dim must be >= 1");
+  if (config_.n_mc == 0)
+    throw std::invalid_argument("NargpModel: n_mc must be >= 1");
+}
+
+void NargpModel::fit(std::vector<Vector> x_low, std::vector<double> y_low,
+                     std::vector<Vector> x_high, std::vector<double> y_high) {
+  if (x_low.empty() || x_high.empty())
+    throw std::invalid_argument("NargpModel::fit: both fidelity sets required");
+  if (x_high.size() != y_high.size())
+    throw std::invalid_argument("NargpModel::fit: high-fidelity size mismatch");
+  low_gp_.fit(std::move(x_low), std::move(y_low));
+  x_high_ = std::move(x_high);
+  y_high_ = std::move(y_high);
+  rebuildHigh(/*retrain=*/true);
+}
+
+void NargpModel::addLow(const Vector& x, double y, bool retrain) {
+  low_gp_.addPoint(x, y, retrain);
+  // µ_l changed, so the high-fidelity augmented inputs must be refreshed
+  // even when hyperparameters stay put.
+  rebuildHigh(retrain);
+}
+
+void NargpModel::addHigh(const Vector& x, double y, bool retrain) {
+  if (x.size() != x_dim_)
+    throw std::invalid_argument("NargpModel::addHigh: input dim mismatch");
+  x_high_.push_back(x);
+  y_high_.push_back(y);
+  rebuildHigh(retrain);
+}
+
+void NargpModel::rebuildHigh(bool retrain) {
+  std::vector<Vector> z;
+  z.reserve(x_high_.size());
+  for (const Vector& x : x_high_)
+    z.push_back(augment(x, low_gp_.predict(x).mean));
+  if (retrain || !high_gp_.fitted()) {
+    high_gp_.fit(std::move(z), y_high_);
+  } else {
+    high_gp_.setData(std::move(z), y_high_);
+  }
+  refreshMcDraws();
+}
+
+void NargpModel::refreshMcDraws() {
+  mc_draws_ = rng_.normalVector(config_.n_mc);
+}
+
+Prediction NargpModel::predictLow(const Vector& x) const {
+  return low_gp_.predict(x);
+}
+
+Prediction NargpModel::predictHigh(const Vector& x) const {
+  if (!high_gp_.fitted())
+    throw std::logic_error("NargpModel::predictHigh: model is not fitted");
+  const Prediction low = low_gp_.predict(x);
+  const double low_sd = low.sd();
+
+  // Monte-Carlo integration of eq. (10) with common random numbers:
+  // y_l^(i) = µ_l + σ_l·ε_i, pushed through the high-fidelity GP; mean and
+  // variance by the law of total variance. Fast path: the k2/k3 x-parts of
+  // the composite kernel are identical for every sample, so compute them
+  // once; the O(n²) within-sample variance is averaged over the first
+  // n_mc_var samples only.
+  const auto& kernel =
+      static_cast<const gp::NargpKernel&>(high_gp_.kernel());
+  const auto& z_train = high_gp_.inputs();
+  const std::size_t n = z_train.size();
+  const std::size_t yl_index = x_dim_;
+
+  Vector c2, c3;
+  kernel.crossXParts(z_train, x, c2, c3);
+  const Vector& alpha = high_gp_.alphaVector();
+  const auto& chol = high_gp_.posteriorCholesky();
+  const auto& std_out = high_gp_.standardizer();
+  const double sn2 = high_gp_.noiseSd() * high_gp_.noiseSd();
+  const double k_self = kernel.selfVariance();
+
+  const std::size_t n_var = std::min(
+      config_.n_mc, std::max<std::size_t>(1, config_.n_mc_var));
+  double mean_acc = 0.0, mean_sq_acc = 0.0, var_acc = 0.0;
+  Vector ks(n);
+  for (std::size_t i = 0; i < config_.n_mc; ++i) {
+    const double yl = low.mean + low_sd * mc_draws_[i];
+    for (std::size_t t = 0; t < n; ++t)
+      ks[t] = kernel.k1Scalar(yl, z_train[t][yl_index]) * c2[t] + c3[t];
+    const double mu_z = dot(ks, alpha);
+    const double mu = std_out.unapply(mu_z);
+    mean_acc += mu;
+    mean_sq_acc += mu * mu;
+    if (i < n_var) {
+      const Vector v = chol.solveLower(ks);
+      const double var_z = std::max(sn2 + k_self - v.squaredNorm(), 1e-12);
+      var_acc += std_out.unapplyVariance(var_z);
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(config_.n_mc);
+  const double mean = mean_acc * inv_n;
+  const double within = var_acc / static_cast<double>(n_var);  // E[σ²]
+  const double between =
+      std::max(0.0, mean_sq_acc * inv_n - mean * mean);        // Var[µ]
+  return {mean, within + between};
+}
+
+double NargpModel::bestHighObserved() const {
+  if (y_high_.empty())
+    throw std::logic_error("NargpModel::bestHighObserved: no high data");
+  return *std::min_element(y_high_.begin(), y_high_.end());
+}
+
+}  // namespace mfbo::mf

@@ -1,0 +1,33 @@
+// mfbo::opt — differential evolution (DE/rand/1/bin).
+//
+// Serves two roles: the global engine inside the GASPAD baseline, and the
+// standalone DE baseline of the paper's Tables 1-2 (Liu et al. 2009 use a
+// hybrid EA; classic DE is the canonical stand-in).
+#pragma once
+
+#include <functional>
+
+#include "opt/objective.h"
+
+namespace mfbo::opt {
+
+struct DeOptions {
+  std::size_t population = 40;
+  std::size_t max_generations = 100;
+  double crossover = 0.8;       ///< CR, probability of taking the mutant gene
+  double differential = 0.7;    ///< F, differential weight
+  /// Optional cap on total objective evaluations (0 = unlimited). The run
+  /// stops mid-generation once the cap is reached.
+  std::size_t max_evaluations = 0;
+};
+
+/// Per-generation callback: (generation, best value so far). Return false to
+/// stop early (used by budget-limited baseline runs).
+using DeCallback = std::function<bool(std::size_t, double)>;
+
+/// Global minimization of f over a box with DE/rand/1/bin.
+OptResult deMinimize(const ScalarObjective& f, const Box& box,
+                     linalg::Rng& rng, const DeOptions& options = {},
+                     const DeCallback& callback = nullptr);
+
+}  // namespace mfbo::opt

@@ -1,0 +1,192 @@
+#include "opt/lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace mfbo::opt {
+
+namespace {
+
+Vector project(const Vector& x, const std::optional<Box>& box) {
+  return box ? box->clamp(x) : x;
+}
+
+// Projected gradient: zero out components that push against an active bound,
+// so convergence at the boundary is recognized.
+Vector projectedGradient(const Vector& x, const Vector& grad,
+                         const std::optional<Box>& box) {
+  if (!box) return grad;
+  Vector pg = grad;
+  constexpr double kEdge = 1e-12;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool at_lower = x[i] <= box->lower[i] + kEdge && grad[i] > 0.0;
+    const bool at_upper = x[i] >= box->upper[i] - kEdge && grad[i] < 0.0;
+    if (at_lower || at_upper) pg[i] = 0.0;
+  }
+  return pg;
+}
+
+double infNorm(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+}  // namespace
+
+OptResult lbfgsMinimize(const GradObjective& f, const Vector& x0,
+                        const std::optional<Box>& box,
+                        const LbfgsOptions& options) {
+  OptResult result;
+  Vector x = project(x0, box);
+  Vector grad;
+  double fx = f(x, &grad);
+  ++result.evaluations;
+  if (!std::isfinite(fx) || !grad.allFinite()) {
+    result.x = x;
+    result.value = fx;
+    return result;
+  }
+
+  result.x = x;
+  result.value = fx;
+
+  // History of s = x_{k+1} - x_k and y = g_{k+1} - g_k pairs.
+  std::deque<Vector> s_hist, y_hist;
+  std::deque<double> rho_hist;
+  std::size_t stall_count = 0;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const Vector pg = projectedGradient(x, grad, box);
+    if (infNorm(pg) < options.grad_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion for the search direction d = -H·g.
+    Vector q = grad;
+    std::vector<double> alpha(s_hist.size());
+    for (std::size_t i = s_hist.size(); i-- > 0;) {
+      alpha[i] = rho_hist[i] * dot(s_hist[i], q);
+      q -= alpha[i] * y_hist[i];
+    }
+    if (!s_hist.empty()) {
+      const Vector& s = s_hist.back();
+      const Vector& y = y_hist.back();
+      const double yy = dot(y, y);
+      if (yy > 0.0) q *= dot(s, y) / yy;
+    }
+    for (std::size_t i = 0; i < s_hist.size(); ++i) {
+      const double beta = rho_hist[i] * dot(y_hist[i], q);
+      q += (alpha[i] - beta) * s_hist[i];
+    }
+    Vector direction = -q;
+
+    // Fall back to steepest descent when the quasi-Newton direction is not
+    // a descent direction (can happen after projections).
+    if (dot(direction, grad) >= 0.0) {
+      direction = -grad;
+      s_hist.clear();
+      y_hist.clear();
+      rho_hist.clear();
+    }
+
+    // Weak-Wolfe line search (Armijo sufficient decrease + curvature
+    // condition) by bisection/expansion. The curvature condition keeps
+    // sᵀy > 0, which the quasi-Newton update needs; Armijo-only
+    // backtracking stalls in curved valleys. If the quasi-Newton direction
+    // fails entirely, retry once with steepest descent.
+    constexpr double kArmijo = 1e-4;
+    constexpr double kCurvature = 0.9;
+    Vector x_new;
+    Vector grad_new;
+    double f_new = fx;
+    bool accepted = false;
+    for (int attempt = 0; attempt < 2 && !accepted; ++attempt) {
+      if (attempt == 1) {
+        direction = -grad;
+        s_hist.clear();
+        y_hist.clear();
+        rho_hist.clear();
+      }
+      const double dir_deriv = dot(direction, grad);
+      double step = attempt == 0 ? 1.0 : 1.0 / std::max(1.0, infNorm(grad));
+      double lo = 0.0;                 // highest Armijo-satisfying step found
+      double hi = 0.0;                 // lowest Armijo-violating step (0 = none)
+      for (std::size_t ls = 0; ls < options.max_line_search; ++ls) {
+        x_new = project(x + step * direction, box);
+        f_new = f(x_new, &grad_new);
+        ++result.evaluations;
+        const Vector actual_step = x_new - x;
+        const bool finite = std::isfinite(f_new) && grad_new.allFinite();
+        const double predicted = kArmijo * std::min(step * dir_deriv, -1e-16);
+        const bool armijo =
+            finite && f_new <= fx + predicted && actual_step.norm() > 0.0;
+        if (!armijo) {
+          hi = step;
+        } else if (dot(grad_new, direction) < kCurvature * dir_deriv &&
+                   (!box || box->contains(x + step * direction))) {
+          // Armijo holds but curvature does not: the step is too short.
+          lo = step;
+        } else {
+          accepted = true;
+          break;
+        }
+        step = hi > 0.0 ? 0.5 * (lo + hi) : step * 2.0;
+        if (step > 1e12) break;
+      }
+      // A step that satisfies Armijo but not curvature is still usable —
+      // better to take it than to abandon the iteration.
+      if (!accepted && lo > 0.0) {
+        x_new = project(x + lo * direction, box);
+        f_new = f(x_new, &grad_new);
+        ++result.evaluations;
+        accepted = std::isfinite(f_new) && grad_new.allFinite();
+      }
+    }
+    if (!accepted) {
+      result.converged = infNorm(pg) < options.grad_tolerance * 10.0;
+      break;
+    }
+
+    const Vector s = x_new - x;
+    const Vector y = grad_new - grad;
+    const double sy = dot(s, y);
+    if (sy > 1e-12 * s.norm() * y.norm()) {
+      s_hist.push_back(s);
+      y_hist.push_back(y);
+      rho_hist.push_back(1.0 / sy);
+      if (s_hist.size() > options.memory) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+        rho_hist.pop_front();
+      }
+    }
+
+    const double f_old = fx;
+    x = std::move(x_new);
+    grad = std::move(grad_new);
+    fx = f_new;
+    if (fx < result.value) {
+      result.value = fx;
+      result.x = x;
+    }
+    // Declare convergence only after two consecutive stagnant iterations —
+    // narrow curved valleys (Rosenbrock-like NLML landscapes) often make
+    // one slow step before picking up speed again.
+    if (std::abs(f_old - fx) <=
+        options.f_tolerance * std::max(1.0, std::abs(f_old))) {
+      if (++stall_count >= 2) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      stall_count = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace mfbo::opt

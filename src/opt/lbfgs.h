@@ -1,0 +1,31 @@
+// mfbo::opt — projected L-BFGS for box-constrained smooth minimization.
+//
+// This drives two workloads in the library: GP hyperparameter training
+// (NLML with analytic gradients, unconstrained in log space) and local
+// refinement of acquisition functions inside the MSP strategy (bounded,
+// finite-difference gradients).
+#pragma once
+
+#include <optional>
+
+#include "opt/objective.h"
+
+namespace mfbo::opt {
+
+struct LbfgsOptions {
+  std::size_t max_iterations = 100;
+  std::size_t memory = 8;          ///< number of (s, y) correction pairs kept
+  double grad_tolerance = 1e-6;    ///< stop when ‖projected grad‖∞ falls below
+  double f_tolerance = 1e-10;      ///< stop on relative objective stagnation
+  std::size_t max_line_search = 30;
+};
+
+/// Minimize @p f starting at @p x0. When @p box is provided, iterates are
+/// projected into the box and convergence is measured on the projected
+/// gradient. Throws nothing; on pathological objectives (NaN) the best
+/// iterate so far is returned with converged = false.
+OptResult lbfgsMinimize(const GradObjective& f, const Vector& x0,
+                        const std::optional<Box>& box = std::nullopt,
+                        const LbfgsOptions& options = {});
+
+}  // namespace mfbo::opt

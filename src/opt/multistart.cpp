@@ -1,0 +1,50 @@
+#include "opt/multistart.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mfbo::opt {
+
+OptResult multistartMinimize(const ScalarObjective& f,
+                             const std::vector<Vector>& starts, const Box& box,
+                             const MultistartOptions& options) {
+  if (starts.empty())
+    throw std::invalid_argument("multistartMinimize: no starting points");
+  OptResult best;
+  bool first = true;
+  for (const Vector& start : starts) {
+    OptResult local =
+        nelderMeadMinimize(f, box.clamp(start), box, options.local);
+    local.evaluations += best.evaluations;
+    local.iterations += best.iterations;
+    if (first || local.value < best.value) {
+      const std::size_t evals = local.evaluations;
+      const std::size_t iters = local.iterations;
+      best = std::move(local);
+      best.evaluations = evals;
+      best.iterations = iters;
+      first = false;
+    } else {
+      best.evaluations = local.evaluations;
+      best.iterations = local.iterations;
+    }
+  }
+  return best;
+}
+
+std::vector<Vector> composeStarts(std::size_t n_random,
+                                  const std::vector<Vector>& incumbents,
+                                  const std::vector<std::size_t>& counts,
+                                  double relative_sd, const Box& box,
+                                  linalg::Rng& rng) {
+  assert(incumbents.size() == counts.size());
+  std::vector<Vector> starts = linalg::latinHypercube(n_random, box, rng);
+  for (std::size_t i = 0; i < incumbents.size(); ++i) {
+    for (std::size_t k = 0; k < counts[i]; ++k)
+      starts.push_back(
+          linalg::gaussianJitterInBox(incumbents[i], relative_sd, box, rng));
+  }
+  return starts;
+}
+
+}  // namespace mfbo::opt

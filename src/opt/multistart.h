@@ -1,0 +1,37 @@
+// mfbo::opt — multiple-starting-point (MSP) local search driver.
+//
+// The paper (§4.1, citing Peng 2016 / Yang 2018) optimizes every acquisition
+// function with MSP: scatter starting points, run a local optimizer from
+// each, keep the best terminal point. The *placement* of starts (random +
+// fractions around the incumbents τ_l/τ_h) is decided by the BO layer and
+// passed in here as an explicit start list.
+#pragma once
+
+#include <vector>
+
+#include "opt/nelder_mead.h"
+#include "opt/objective.h"
+
+namespace mfbo::opt {
+
+struct MultistartOptions {
+  NelderMeadOptions local;  ///< settings for each local refinement
+};
+
+/// Run a bounded Nelder-Mead refinement from every start and return the best
+/// terminal result. Starts outside the box are clamped. Requires at least
+/// one start.
+OptResult multistartMinimize(const ScalarObjective& f,
+                             const std::vector<Vector>& starts, const Box& box,
+                             const MultistartOptions& options = {});
+
+/// Compose the §4.1 start list: `n_random` space-filling starts plus
+/// Gaussian scatter around each provided incumbent (`counts[i]` starts with
+/// relative sd `relative_sd` around `incumbents[i]`).
+std::vector<Vector> composeStarts(std::size_t n_random,
+                                  const std::vector<Vector>& incumbents,
+                                  const std::vector<std::size_t>& counts,
+                                  double relative_sd, const Box& box,
+                                  linalg::Rng& rng);
+
+}  // namespace mfbo::opt

@@ -1,0 +1,115 @@
+#include "opt/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace mfbo::opt {
+
+OptResult nelderMeadMinimize(const ScalarObjective& f, const Vector& x0,
+                             const std::optional<Box>& box,
+                             const NelderMeadOptions& options) {
+  const std::size_t d = x0.size();
+  OptResult result;
+
+  auto clamp = [&](Vector x) { return box ? box->clamp(std::move(x)) : x; };
+  auto eval = [&](const Vector& x) {
+    ++result.evaluations;
+    const double v = f(x);
+    return std::isfinite(v) ? v : std::numeric_limits<double>::max();
+  };
+
+  // Build the initial simplex: x0 plus one vertex displaced per coordinate.
+  std::vector<Vector> simplex;
+  simplex.reserve(d + 1);
+  simplex.push_back(clamp(x0));
+  for (std::size_t i = 0; i < d; ++i) {
+    Vector v = simplex[0];
+    double step = options.initial_step;
+    if (box) step *= (box->upper[i] - box->lower[i]);
+    if (step == 0.0) step = options.initial_step;
+    // Flip direction if the displaced vertex would be clamped back onto v.
+    v[i] += step;
+    if (box && v[i] > box->upper[i]) v[i] = simplex[0][i] - step;
+    simplex.push_back(clamp(std::move(v)));
+  }
+  std::vector<double> values(simplex.size());
+  for (std::size_t i = 0; i < simplex.size(); ++i) values[i] = eval(simplex[i]);
+
+  constexpr double kReflect = 1.0, kExpand = 2.0, kContract = 0.5,
+                   kShrink = 0.5;
+
+  while (result.evaluations < options.max_evaluations) {
+    ++result.iterations;
+    // Order the simplex by objective value.
+    std::vector<std::size_t> order(simplex.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[order.size() - 2];
+
+    // Convergence: value spread and simplex diameter.
+    double diam = 0.0;
+    for (std::size_t i = 1; i < simplex.size(); ++i)
+      diam = std::max(diam, (simplex[order[i]] - simplex[best]).norm());
+    if (std::abs(values[worst] - values[best]) <
+            options.f_tolerance * (1.0 + std::abs(values[best])) &&
+        diam < options.x_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all vertices except the worst.
+    Vector centroid(d);
+    for (std::size_t i = 0; i < simplex.size(); ++i)
+      if (i != worst) centroid += simplex[i];
+    centroid /= static_cast<double>(simplex.size() - 1);
+
+    const Vector reflected =
+        clamp(centroid + kReflect * (centroid - simplex[worst]));
+    const double f_reflected = eval(reflected);
+
+    if (f_reflected < values[best]) {
+      const Vector expanded =
+          clamp(centroid + kExpand * (centroid - simplex[worst]));
+      const double f_expanded = eval(expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = expanded;
+        values[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = f_reflected;
+      }
+    } else if (f_reflected < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = f_reflected;
+    } else {
+      const Vector contracted =
+          clamp(centroid + kContract * (simplex[worst] - centroid));
+      const double f_contracted = eval(contracted);
+      if (f_contracted < values[worst]) {
+        simplex[worst] = contracted;
+        values[worst] = f_contracted;
+      } else {
+        // Shrink everything toward the best vertex.
+        for (std::size_t i = 0; i < simplex.size(); ++i) {
+          if (i == best) continue;
+          simplex[i] =
+              clamp(simplex[best] + kShrink * (simplex[i] - simplex[best]));
+          values[i] = eval(simplex[i]);
+        }
+      }
+    }
+  }
+
+  const std::size_t best = static_cast<std::size_t>(
+      std::min_element(values.begin(), values.end()) - values.begin());
+  result.x = simplex[best];
+  result.value = values[best];
+  return result;
+}
+
+}  // namespace mfbo::opt

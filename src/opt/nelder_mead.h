@@ -1,0 +1,28 @@
+// mfbo::opt — bounded Nelder–Mead simplex search.
+//
+// Gradient-free local refinement used where the objective is noisy or
+// non-smooth (Monte-Carlo acquisition values of the fused model in
+// particular, whose finite-difference gradients are unreliable).
+#pragma once
+
+#include <optional>
+
+#include "opt/objective.h"
+
+namespace mfbo::opt {
+
+struct NelderMeadOptions {
+  std::size_t max_evaluations = 400;
+  double f_tolerance = 1e-9;   ///< stop when simplex value spread shrinks below
+  double x_tolerance = 1e-9;   ///< stop when simplex diameter shrinks below
+  double initial_step = 0.05;  ///< initial simplex edge, relative to box width
+                               ///< (absolute when no box is given)
+};
+
+/// Minimize @p f starting from @p x0. With a box, all trial points are
+/// clamped into the box (standard bounded-simplex practice).
+OptResult nelderMeadMinimize(const ScalarObjective& f, const Vector& x0,
+                             const std::optional<Box>& box = std::nullopt,
+                             const NelderMeadOptions& options = {});
+
+}  // namespace mfbo::opt

@@ -1,0 +1,27 @@
+#include "opt/objective.h"
+
+#include <cmath>
+
+namespace mfbo::opt {
+
+GradObjective withNumericGradient(ScalarObjective f, double h) {
+  return [f = std::move(f), h](const Vector& x, Vector* grad) -> double {
+    const double fx = f(x);
+    if (grad != nullptr) {
+      *grad = Vector(x.size());
+      Vector probe = x;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const double step = h * std::max(1.0, std::abs(x[i]));
+        probe[i] = x[i] + step;
+        const double fp = f(probe);
+        probe[i] = x[i] - step;
+        const double fm = f(probe);
+        probe[i] = x[i];
+        (*grad)[i] = (fp - fm) / (2.0 * step);
+      }
+    }
+    return fx;
+  };
+}
+
+}  // namespace mfbo::opt

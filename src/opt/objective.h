@@ -1,0 +1,35 @@
+// mfbo::opt — objective-function interfaces shared by every optimizer.
+#pragma once
+
+#include <functional>
+
+#include "linalg/sampling.h"
+#include "linalg/vector.h"
+
+namespace mfbo::opt {
+
+using linalg::Box;
+using linalg::Vector;
+
+/// Plain scalar objective f(x) (to be minimized unless stated otherwise).
+using ScalarObjective = std::function<double(const Vector&)>;
+
+/// Objective returning f(x) and, when @p grad is non-null, writing ∇f(x)
+/// into it. Used by L-BFGS for the GP marginal likelihood where analytic
+/// gradients are available.
+using GradObjective = std::function<double(const Vector&, Vector* grad)>;
+
+/// Wrap a gradient-free objective with central finite differences so it can
+/// drive a gradient-based optimizer. Step h is relative per coordinate.
+GradObjective withNumericGradient(ScalarObjective f, double h = 1e-6);
+
+/// Result of a local or global minimization.
+struct OptResult {
+  Vector x;            ///< best point found
+  double value = 0.0;  ///< objective at x
+  std::size_t evaluations = 0;  ///< number of objective calls consumed
+  std::size_t iterations = 0;   ///< optimizer iterations performed
+  bool converged = false;       ///< tolerance met before hitting limits
+};
+
+}  // namespace mfbo::opt

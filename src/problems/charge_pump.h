@@ -1,0 +1,68 @@
+// mfbo::problems — the §5.2 charge-pump synthesis testbench.
+//
+// Paper setup: an SMIC 40 nm charge pump (their Fig. 4) with 36 design
+// variables; the goal is to hold the output-stage currents I(M1) (PMOS
+// source) and I(M2) (NMOS sink) inside a tight window around 40 µA across
+// 27 PVT corners. FOM and constraints follow eqs. (15)-(16) exactly, in µA.
+// Fidelities: all 27 corners (high) vs the single nominal corner (low) —
+// a 27× cost ratio, as in the paper.
+//
+// Our substitution: an 18-transistor steering charge pump on the in-tree
+// MNA engine — cascoded current mirrors biased from i10u/i5u references,
+// UP/DN steering switches, dump branches, and a mid-rail output clamp.
+// The 36 design variables are the W and L of all 18 devices.
+#pragma once
+
+#include "bo/problem.h"
+#include "circuit/pvt.h"
+
+namespace mfbo::problems {
+
+/// Per-corner current statistics and the derived paper metrics.
+struct CpPerformance {
+  // eq. (16) quantities, in µA:
+  double max_diff1 = 0.0;  ///< max over corners of I(M1)max − I(M1)avg
+  double max_diff2 = 0.0;  ///< max over corners of I(M1)avg − I(M1)min
+  double max_diff3 = 0.0;  ///< max over corners of I(M2)max − I(M2)avg
+  double max_diff4 = 0.0;  ///< max over corners of I(M2)avg − I(M2)min
+  double deviation = 0.0;  ///< max|I(M1)avg−40| + max|I(M2)avg−40|
+  double fom = 0.0;        ///< 0.3·Σ max_diff + 0.5·deviation
+  bool valid = false;
+};
+
+/// Design vector layout: [W_1..W_18 (m), L_1..L_18 (m)] for the 18
+/// transistors of the pump, in the order the deck instantiates them.
+class ChargePumpProblem final : public bo::Problem {
+ public:
+  ChargePumpProblem();
+
+  std::string name() const override { return "charge-pump"; }
+  std::size_t dim() const override { return 36; }
+  std::size_t numConstraints() const override { return 5; }
+  bo::Box bounds() const override;
+  bo::Evaluation evaluate(const bo::Vector& x, bo::Fidelity f) override;
+  /// 27 corners vs 1 corner.
+  double costRatio() const override { return 27.0; }
+
+  /// Full performance extraction (used by benches and tests).
+  CpPerformance simulate(const bo::Vector& x, bo::Fidelity f) const;
+
+  /// A hand-sized reference design (mirror ratios ≈ 4) that lands in the
+  /// neighbourhood of the feasible region — used for testing and for
+  /// centring initial designs is NOT done (algorithms search the full box).
+  bo::Vector referenceDesign() const;
+
+  static constexpr double kTargetCurrentUa = 40.0;
+
+ private:
+  /// Simulate one PVT corner; returns {IM1 stats, IM2 stats} in µA.
+  struct CornerCurrents {
+    double im1_min, im1_avg, im1_max;
+    double im2_min, im2_avg, im2_max;
+    bool valid;
+  };
+  CornerCurrents simulateCorner(const bo::Vector& x,
+                                const circuit::PvtCorner& corner) const;
+};
+
+}  // namespace mfbo::problems

@@ -1,0 +1,55 @@
+// mfbo::problems — two-stage Miller op-amp synthesis testbench.
+//
+// A library extension beyond the paper's two experiments, exercising the
+// AC small-signal path: size a PMOS-input two-stage OTA with Miller
+// compensation to maximize DC gain subject to unity-gain-bandwidth, phase
+// margin, and power specs.
+//
+// Fidelities: the low fidelity computes gain/UGF/PM from the textbook
+// hand-analysis formulas evaluated at the simulated DC operating point
+// (one DC solve — fast, and systematically optimistic because it ignores
+// the Miller RHP zero and higher poles). The high fidelity runs the full
+// AC sweep. The two are strongly but nonlinearly correlated — the same
+// structure as the paper's fidelity pairs.
+#pragma once
+
+#include "bo/problem.h"
+
+namespace mfbo::problems {
+
+struct OpampPerformance {
+  double gain_db = 0.0;       ///< DC differential gain
+  double ugf_hz = 0.0;        ///< unity-gain frequency
+  double pm_deg = 0.0;        ///< phase margin
+  double power_mw = 0.0;      ///< static supply power
+  bool valid = false;
+};
+
+/// Design vector layout (10 variables):
+///   [W_tail, W_in, W_mirror, W_out_n, W_out_p,
+///    L_in, L_mirror, L_out, C_c, I_bias]
+/// Widths/lengths in meters, C_c in farads, I_bias in amperes.
+class OpampProblem final : public bo::Problem {
+ public:
+  OpampProblem();
+
+  std::string name() const override { return "two-stage-opamp"; }
+  std::size_t dim() const override { return 10; }
+  std::size_t numConstraints() const override { return 3; }
+  bo::Box bounds() const override;
+  bo::Evaluation evaluate(const bo::Vector& x, bo::Fidelity f) override;
+  /// One DC solve vs a ~60-point AC sweep on the embedded system.
+  double costRatio() const override { return 10.0; }
+
+  OpampPerformance simulate(const bo::Vector& x, bo::Fidelity f) const;
+
+  /// A hand-sized design in the neighbourhood of the feasible region.
+  bo::Vector referenceDesign() const;
+
+  // Specs.
+  static constexpr double kMinUgfMhz = 20.0;
+  static constexpr double kMinPmDeg = 60.0;
+  static constexpr double kMaxPowerMw = 1.0;
+};
+
+}  // namespace mfbo::problems

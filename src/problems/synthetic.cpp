@@ -1,0 +1,107 @@
+#include "problems/synthetic.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace mfbo::problems {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+// ------------------------------------------------------------ pedagogical --
+
+double pedagogicalLow(double x) {
+  const double t = x + 0.5;
+  return std::sin(8.0 * kPi * t);
+}
+
+double pedagogicalHigh(double x) {
+  const double t = x + 0.5;
+  const double yl = std::sin(8.0 * kPi * t);
+  return (t - std::numbers::sqrt2) * yl * yl;
+}
+
+Evaluation PedagogicalProblem::evaluate(const Vector& x, Fidelity fidelity) {
+  Evaluation e;
+  e.objective = fidelity == Fidelity::kHigh ? pedagogicalHigh(x[0])
+                                            : pedagogicalLow(x[0]);
+  return e;
+}
+
+// -------------------------------------------------------------- forrester --
+
+double forresterHigh(double x) {
+  const double a = 6.0 * x - 2.0;
+  return a * a * std::sin(12.0 * x - 4.0);
+}
+
+double forresterLow(double x) {
+  return 0.5 * forresterHigh(x) + 10.0 * (x - 0.5) - 5.0;
+}
+
+Evaluation ForresterProblem::evaluate(const Vector& x, Fidelity fidelity) {
+  Evaluation e;
+  e.objective =
+      fidelity == Fidelity::kHigh ? forresterHigh(x[0]) : forresterLow(x[0]);
+  return e;
+}
+
+// ----------------------------------------------------------------- branin --
+
+double braninHigh(const Vector& x) {
+  const double x1 = x[0], x2 = x[1];
+  const double a = 1.0;
+  const double b = 5.1 / (4.0 * kPi * kPi);
+  const double c = 5.0 / kPi;
+  const double r = 6.0;
+  const double s = 10.0;
+  const double t = 1.0 / (8.0 * kPi);
+  const double inner = x2 - b * x1 * x1 + c * x1 - r;
+  return a * inner * inner + s * (1.0 - t) * std::cos(x1) + s;
+}
+
+double braninLow(const Vector& x) {
+  // Standard MFBO variant: rescaled + linear bias + phase error.
+  const double x1 = x[0], x2 = x[1];
+  return 0.5 * braninHigh(x) + 10.0 * std::sqrt(std::abs(x1 * x2) + 1.0) -
+         20.0 + 5.0 * std::sin(0.5 * x1);
+}
+
+Evaluation BraninMfProblem::evaluate(const Vector& x, Fidelity fidelity) {
+  Evaluation e;
+  e.objective = fidelity == Fidelity::kHigh ? braninHigh(x) : braninLow(x);
+  return e;
+}
+
+// ------------------------------------------- constrained quadratic (d-dim) --
+
+Evaluation ConstrainedQuadraticProblem::evaluate(const Vector& x,
+                                                 Fidelity fidelity) {
+  double obj = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    obj += (x[i] - 0.75) * (x[i] - 0.75);
+    sum += x[i];
+  }
+  const double con = sum - (0.75 * static_cast<double>(dim_) - 0.5);
+
+  Evaluation e;
+  if (fidelity == Fidelity::kHigh) {
+    e.objective = obj;
+    e.constraints = {con};
+  } else {
+    // Coarse model: correct trends, smooth nonlinear bias — the structure
+    // the fidelity-fusion model is designed to exploit.
+    e.objective = 0.9 * obj + 0.15 * std::sin(3.0 * sum) + 0.05;
+    e.constraints = {con + 0.1 * std::cos(2.0 * sum)};
+  }
+  return e;
+}
+
+double ConstrainedQuadraticProblem::optimalValue() const {
+  // Projection of (0.75, ..., 0.75) onto Σx = 0.75d − 0.5 moves each
+  // coordinate by 0.5/d, so the objective is d·(0.5/d)² = 0.25/d.
+  return 0.25 / static_cast<double>(dim_);
+}
+
+}  // namespace mfbo::problems

@@ -1,0 +1,208 @@
+// Tests for the small-signal AC analysis, against closed-form transfer
+// functions: RC/RL poles, LC resonance, and a single-stage amplifier whose
+// gain follows gm·(ro ∥ RD).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "circuit/ac.h"
+#include "circuit/netlist.h"
+
+namespace {
+
+using namespace mfbo::circuit;
+
+TEST(AcAnalysis, RcLowpassMagnitudeAndPhase) {
+  const double r = 1e3, c = 1e-9;           // pole at 159.2 kHz
+  const double f_pole = 1.0 / (2.0 * std::numbers::pi * r * c);
+  Netlist n;
+  const NodeId in = n.node("in"), out = n.node("out");
+  const std::size_t src = n.addVSource("vin", in, kGround, Waveform::dc(0.0));
+  n.vsources()[src].ac_magnitude = 1.0;
+  n.addResistor("r1", in, out, r);
+  n.addCapacitor("c1", out, kGround, c);
+
+  Simulator sim(n);
+  const AcResult ac = acAnalysis(sim, 1e3, 1e8, 20);
+  ASSERT_TRUE(ac.converged);
+
+  for (std::size_t k = 0; k < ac.freq.size(); ++k) {
+    const double f = ac.freq[k];
+    const double expected_mag =
+        1.0 / std::sqrt(1.0 + (f / f_pole) * (f / f_pole));
+    const double expected_phase =
+        -std::atan(f / f_pole) * 180.0 / std::numbers::pi;
+    EXPECT_NEAR(std::abs(ac.nodePhasor(k, out)), expected_mag,
+                0.01 * expected_mag + 1e-6)
+        << "f=" << f;
+    EXPECT_NEAR(ac.phaseDeg(k, out), expected_phase, 0.5) << "f=" << f;
+  }
+}
+
+TEST(AcAnalysis, RlHighpass) {
+  // Series L into R to ground: |H| = R/√(R²+ω²L²)... measured across L:
+  // high-pass with corner R/(2πL).
+  const double r = 100.0, l = 1e-6;
+  const double f_c = r / (2.0 * std::numbers::pi * l);  // ~15.9 MHz
+  Netlist n;
+  const NodeId in = n.node("in"), out = n.node("out");
+  const std::size_t src = n.addVSource("vin", in, kGround, Waveform::dc(0.0));
+  n.vsources()[src].ac_magnitude = 1.0;
+  n.addResistor("r1", in, out, r);
+  n.addInductor("l1", out, kGround, l);
+  Simulator sim(n);
+  const AcResult ac = acAnalysis(sim, 1e5, 1e9, 10);
+  ASSERT_TRUE(ac.converged);
+  for (std::size_t k = 0; k < ac.freq.size(); ++k) {
+    const double ratio = ac.freq[k] / f_c;
+    const double expected = ratio / std::sqrt(1.0 + ratio * ratio);
+    EXPECT_NEAR(std::abs(ac.nodePhasor(k, out)), expected,
+                0.02 * expected + 1e-4)
+        << "f=" << ac.freq[k];
+  }
+}
+
+TEST(AcAnalysis, LcResonancePeak) {
+  // Series R-L-C driven at the cap: the cap voltage peaks near
+  // f0 = 1/(2π√(LC)) with quality factor Q = (1/R)·√(L/C).
+  const double r = 10.0, l = 1e-6, c = 1e-9;
+  const double f0 = 1.0 / (2.0 * std::numbers::pi * std::sqrt(l * c));
+  Netlist n;
+  const NodeId in = n.node("in"), mid = n.node("mid"), out = n.node("out");
+  const std::size_t src = n.addVSource("vin", in, kGround, Waveform::dc(0.0));
+  n.vsources()[src].ac_magnitude = 1.0;
+  n.addResistor("r1", in, mid, r);
+  n.addInductor("l1", mid, out, l);
+  n.addCapacitor("c1", out, kGround, c);
+  Simulator sim(n);
+  const AcResult ac = acAnalysis(sim, f0 / 10.0, f0 * 10.0, 40);
+  ASSERT_TRUE(ac.converged);
+  // Find the peak.
+  double peak = 0.0, peak_f = 0.0;
+  for (std::size_t k = 0; k < ac.freq.size(); ++k) {
+    const double m = std::abs(ac.nodePhasor(k, out));
+    if (m > peak) {
+      peak = m;
+      peak_f = ac.freq[k];
+    }
+  }
+  const double q = std::sqrt(l / c) / r;  // ≈ 3.16
+  EXPECT_NEAR(peak_f, f0, 0.05 * f0);
+  EXPECT_NEAR(peak, q, 0.1 * q);
+}
+
+TEST(AcAnalysis, CommonSourceGainMatchesGmRo) {
+  // NMOS common-source stage: |A_v| at low frequency = gm·(RD ∥ ro).
+  Netlist n;
+  const NodeId vdd = n.node("vdd"), d = n.node("d"), g = n.node("g");
+  n.addVSource("vdd", vdd, kGround, Waveform::dc(3.0));
+  const std::size_t vin =
+      n.addVSource("vg", g, kGround, Waveform::dc(1.0));
+  n.vsources()[vin].ac_magnitude = 1.0;
+  const double rd = 4e3;  // keeps the device in saturation (vds ≈ 1.9 > vov)
+  n.addResistor("rd", vdd, d, rd);
+  MosfetParams p;
+  p.vt0 = 0.5;
+  p.kp = 2e-4;
+  p.lambda = 0.05;
+  p.w = 10e-6;
+  p.l = 1e-6;
+  n.addMosfet("m1", d, g, kGround, p);
+
+  Simulator sim(n);
+  // Operating point for the analytic comparison.
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  const double id = sim.mosfetCurrent(dc.solution, 0);
+  const double vds = dc.solution[static_cast<std::size_t>(d)];
+  const double beta = p.kp * p.w / p.l;
+  const double vov = 1.0 - p.vt0;
+  const double gm = beta * vov * (1.0 + p.lambda * vds);
+  const double gds = 0.5 * beta * vov * vov * p.lambda;
+  (void)id;
+  const double expected_gain = gm / (1.0 / rd + gds + 1e-12);
+
+  const AcResult ac = acAnalysis(sim, 1e3, 1e6, 5);
+  ASSERT_TRUE(ac.converged);
+  EXPECT_NEAR(std::abs(ac.nodePhasor(0, d)), expected_gain,
+              0.02 * expected_gain);
+  // Inverting stage: phase ≈ 180° at low frequency.
+  EXPECT_NEAR(std::abs(ac.phaseDeg(0, d)), 180.0, 1.0);
+}
+
+TEST(AcAnalysis, UnityGainFrequencyOfSinglePoleIntegrator) {
+  // gm stage into a load cap: |H(f)| = gm/(2πfC) → unity at gm/(2πC).
+  Netlist n;
+  const NodeId vdd = n.node("vdd"), d = n.node("d"), g = n.node("g");
+  n.addVSource("vdd", vdd, kGround, Waveform::dc(3.0));
+  const std::size_t vin = n.addVSource("vg", g, kGround, Waveform::dc(1.0));
+  n.vsources()[vin].ac_magnitude = 1.0;
+  // Bias the drain with an ideal current source slightly above the
+  // zero-λ saturation current: the device settles in saturation with a
+  // high-impedance node, so the stage is integrator-like in-band.
+  n.addISource("ibias", vdd, d, Waveform::dc(0.26e-3));
+  const double cl = 1e-12;
+  n.addCapacitor("cl", d, kGround, cl);
+  MosfetParams p;
+  p.vt0 = 0.5;
+  p.kp = 2e-4;
+  p.lambda = 0.05;
+  p.w = 10e-6;
+  p.l = 1e-6;
+  n.addMosfet("m1", d, g, kGround, p);
+
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  const double vds = dc.solution[static_cast<std::size_t>(d)];
+  ASSERT_GT(vds, 0.5);  // saturated
+
+  const AcResult ac = acAnalysis(sim, 1e5, 1e10, 20);
+  ASSERT_TRUE(ac.converged);
+  const double gm =
+      p.kp * (p.w / p.l) * 0.5 * (1.0 + p.lambda * vds);  // β·vov·CLM
+  const double expected_fu = gm / (2.0 * std::numbers::pi * cl);
+  const double fu = unityGainFrequency(ac, d);
+  EXPECT_NEAR(fu, expected_fu, 0.05 * expected_fu);
+  // Single-pole system: phase margin ≈ 90°.
+  EXPECT_NEAR(phaseMarginDeg(ac, d, /*invert=*/true), 90.0, 3.0);
+}
+
+TEST(AcAnalysis, QuietCircuitGivesZeroResponse) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.addVSource("v1", a, kGround, Waveform::dc(1.0));  // no AC magnitude
+  n.addResistor("r1", a, kGround, 1e3);
+  Simulator sim(n);
+  const AcResult ac = acAnalysis(sim, 1e3, 1e6, 3);
+  ASSERT_TRUE(ac.converged);
+  for (std::size_t k = 0; k < ac.freq.size(); ++k)
+    EXPECT_LT(std::abs(ac.nodePhasor(k, a)), 1e-12);
+}
+
+TEST(AcAnalysis, ValidatesSweepParameters) {
+  Netlist n;
+  n.addResistor("r", n.node("a"), kGround, 1.0);
+  Simulator sim(n);
+  EXPECT_THROW(acAnalysis(sim, 0.0, 1e6), std::invalid_argument);
+  EXPECT_THROW(acAnalysis(sim, 1e6, 1e3), std::invalid_argument);
+  EXPECT_THROW(acAnalysis(sim, 1e3, 1e6, 0), std::invalid_argument);
+}
+
+TEST(AcAnalysis, NoUnityCrossingReturnsZero) {
+  // Passive attenuator never reaches 0 dB.
+  Netlist n;
+  const NodeId in = n.node("in"), out = n.node("out");
+  const std::size_t src = n.addVSource("vin", in, kGround, Waveform::dc(0.0));
+  n.vsources()[src].ac_magnitude = 0.1;  // −20 dB everywhere
+  n.addResistor("r1", in, out, 1e3);
+  n.addResistor("r2", out, kGround, 1e3);
+  Simulator sim(n);
+  const AcResult ac = acAnalysis(sim, 1e3, 1e6, 5);
+  ASSERT_TRUE(ac.converged);
+  EXPECT_DOUBLE_EQ(unityGainFrequency(ac, out), 0.0);
+  EXPECT_DOUBLE_EQ(phaseMarginDeg(ac, out), 0.0);
+}
+
+}  // namespace

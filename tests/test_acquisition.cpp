@@ -1,0 +1,101 @@
+// Tests for the acquisition-function building blocks (paper §2.4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/acquisition.h"
+#include "linalg/stats.h"
+
+namespace {
+
+using namespace mfbo::bo;
+using mfbo::gp::Prediction;
+
+TEST(ExpectedImprovement, ZeroWhenMeanFarAboveTauWithTinyVariance) {
+  // µ = 5 ≫ τ = 0, σ ≈ 0: no improvement possible.
+  EXPECT_NEAR(expectedImprovement({5.0, 1e-18}, 0.0), 0.0, 1e-12);
+}
+
+TEST(ExpectedImprovement, EqualsGapWhenCertainlyBetter) {
+  // σ → 0 and µ = τ − 2: EI degenerates to the deterministic gap.
+  EXPECT_NEAR(expectedImprovement({-2.0, 1e-18}, 0.0), 2.0, 1e-9);
+}
+
+TEST(ExpectedImprovement, KnownAnalyticValueAtMuEqualTau) {
+  // µ = τ: EI = σ·φ(0) = σ/√(2π).
+  const double sigma = 2.0;
+  EXPECT_NEAR(expectedImprovement({0.0, sigma * sigma}, 0.0),
+              sigma / std::sqrt(2.0 * M_PI), 1e-12);
+}
+
+TEST(ExpectedImprovement, MonotoneInUncertainty) {
+  // With µ above τ, more variance means more upside.
+  const double tau = 0.0;
+  double prev = 0.0;
+  for (double sd : {0.1, 0.5, 1.0, 2.0}) {
+    const double ei = expectedImprovement({1.0, sd * sd}, tau);
+    EXPECT_GT(ei, prev);
+    prev = ei;
+  }
+}
+
+TEST(ExpectedImprovement, NonNegativeEverywhere) {
+  for (double mu : {-3.0, -1.0, 0.0, 1.0, 3.0})
+    for (double sd : {0.0, 0.3, 1.0, 5.0})
+      EXPECT_GE(expectedImprovement({mu, sd * sd}, 0.5), 0.0);
+}
+
+TEST(ProbabilityOfFeasibility, HalfAtBoundary) {
+  EXPECT_NEAR(probabilityOfFeasibility({0.0, 1.0}), 0.5, 1e-12);
+}
+
+TEST(ProbabilityOfFeasibility, ApproachesIndicatorAsVarianceVanishes) {
+  EXPECT_DOUBLE_EQ(probabilityOfFeasibility({-1.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(probabilityOfFeasibility({1.0, 0.0}), 0.0);
+}
+
+TEST(ProbabilityOfFeasibility, MatchesNormalCdf) {
+  // PF = Φ(−µ/σ) for c < 0 feasibility.
+  const double mu = 0.8, sd = 2.0;
+  EXPECT_NEAR(probabilityOfFeasibility({mu, sd * sd}),
+              mfbo::linalg::normalCdf(-mu / sd), 1e-12);
+}
+
+TEST(WeightedEi, ReducesToEiWithoutConstraints) {
+  const Prediction obj{0.3, 0.5};
+  EXPECT_DOUBLE_EQ(weightedEi(obj, 1.0, {}),
+                   expectedImprovement(obj, 1.0));
+}
+
+TEST(WeightedEi, ProductStructure) {
+  const Prediction obj{0.3, 0.5};
+  const Prediction c1{-0.5, 0.2};
+  const Prediction c2{0.1, 0.3};
+  const double expected = expectedImprovement(obj, 1.0) *
+                          probabilityOfFeasibility(c1) *
+                          probabilityOfFeasibility(c2);
+  EXPECT_NEAR(weightedEi(obj, 1.0, {c1, c2}), expected, 1e-14);
+}
+
+TEST(WeightedEi, SuppressedInLikelyInfeasibleRegion) {
+  const Prediction obj{-10.0, 0.01};  // huge raw improvement
+  const Prediction con{5.0, 0.01};    // almost certainly infeasible
+  EXPECT_LT(weightedEi(obj, 0.0, {con}), 1e-6);
+}
+
+TEST(ConfidenceBounds, Ordering) {
+  const Prediction p{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(lowerConfidenceBound(p, 2.0), 1.0 - 4.0);
+  EXPECT_DOUBLE_EQ(upperConfidenceBound(p, 2.0), 1.0 + 4.0);
+  EXPECT_LT(lowerConfidenceBound(p, 1.0), p.mean);
+  EXPECT_GT(upperConfidenceBound(p, 1.0), p.mean);
+}
+
+TEST(PredictedViolation, SumsOnlyPositiveMeans) {
+  EXPECT_DOUBLE_EQ(predictedViolation({{-1.0, 1.0}, {2.0, 1.0}, {0.5, 9.0}}),
+                   2.5);
+  EXPECT_DOUBLE_EQ(predictedViolation({{-1.0, 1.0}, {-2.0, 1.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(predictedViolation({}), 0.0);
+}
+
+}  // namespace

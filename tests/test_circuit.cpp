@@ -1,0 +1,574 @@
+// Tests for the MNA circuit simulator, checked against closed-form circuit
+// theory: dividers, diode drops, MOSFET operating regions, RC/RL dynamics,
+// sinusoidal steady state, spectral analysis, and PVT corner behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "circuit/fft.h"
+#include "circuit/measure.h"
+#include "circuit/netlist.h"
+#include "circuit/pvt.h"
+#include "circuit/simulator.h"
+
+namespace {
+
+using namespace mfbo::circuit;
+
+// ---------------------------------------------------------------- Waveform --
+
+TEST(WaveformTest, DcIsConstant) {
+  const Waveform w = Waveform::dc(3.3);
+  EXPECT_DOUBLE_EQ(w.at(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(w.at(1e-3), 3.3);
+  EXPECT_DOUBLE_EQ(w.dcValue(), 3.3);
+}
+
+TEST(WaveformTest, SineValues) {
+  const Waveform w = Waveform::sine(1.0, 2.0, 1e3);
+  EXPECT_NEAR(w.at(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(w.at(0.25e-3), 3.0, 1e-9);   // peak
+  EXPECT_NEAR(w.at(0.75e-3), -1.0, 1e-9);  // trough
+  EXPECT_DOUBLE_EQ(w.dcValue(), 1.0);
+}
+
+TEST(WaveformTest, PulseShapeAndPeriodicity) {
+  // v1=0, v2=1, delay=1µs, rise=1µs, fall=1µs, width=2µs, period=10µs.
+  const Waveform w = Waveform::pulse(0.0, 1.0, 1e-6, 1e-6, 1e-6, 2e-6, 10e-6);
+  EXPECT_DOUBLE_EQ(w.at(0.0), 0.0);
+  EXPECT_NEAR(w.at(1.5e-6), 0.5, 1e-9);   // mid-rise
+  EXPECT_DOUBLE_EQ(w.at(3e-6), 1.0);      // flat top
+  EXPECT_NEAR(w.at(4.5e-6), 0.5, 1e-9);   // mid-fall
+  EXPECT_DOUBLE_EQ(w.at(6e-6), 0.0);      // low
+  EXPECT_NEAR(w.at(11.5e-6), 0.5, 1e-9);  // second period mid-rise
+}
+
+// ----------------------------------------------------------------- devices --
+
+TEST(MosfetModel, CutoffTriodeSaturationRegions) {
+  MosfetParams p;
+  p.vt0 = 0.5;
+  p.kp = 2e-4;
+  p.lambda = 0.0;
+  p.w = 10e-6;
+  p.l = 1e-6;
+  const double beta = p.kp * p.w / p.l;  // 2e-3
+
+  // Cutoff: vgs < vt.
+  const MosfetState off = mosfetEval(p, 0.3, 1.0);
+  EXPECT_LT(off.id, 1e-9);
+
+  // Saturation: vds > vov. id = β/2·vov².
+  const MosfetState sat = mosfetEval(p, 1.0, 2.0);
+  EXPECT_NEAR(sat.id, 0.5 * beta * 0.25, 1e-9);
+  EXPECT_NEAR(sat.gm, beta * 0.5, 1e-9);
+
+  // Triode: id = β(vov·vds − vds²/2).
+  const MosfetState tri = mosfetEval(p, 1.0, 0.2);
+  EXPECT_NEAR(tri.id, beta * (0.5 * 0.2 - 0.5 * 0.04), 1e-9);
+  // Triode current is below saturation current.
+  EXPECT_LT(tri.id, sat.id);
+}
+
+TEST(MosfetModel, ChannelLengthModulationSlope) {
+  MosfetParams p;
+  p.lambda = 0.1;
+  const MosfetState a = mosfetEval(p, 1.0, 1.0);
+  const MosfetState b = mosfetEval(p, 1.0, 2.0);
+  EXPECT_GT(b.id, a.id);  // finite output conductance
+  EXPECT_GT(a.gds, 0.0);
+}
+
+TEST(MosfetModel, ContinuousAcrossTriodeSaturationBoundary) {
+  MosfetParams p;
+  const double vov = 1.0 - p.vt0;
+  const MosfetState below = mosfetEval(p, 1.0, vov - 1e-9);
+  const MosfetState above = mosfetEval(p, 1.0, vov + 1e-9);
+  EXPECT_NEAR(below.id, above.id, 1e-9);
+}
+
+TEST(DiodeModel, ForwardExponentialAndReverseSaturation) {
+  DiodeParams p;
+  const DiodeState fwd = diodeEval(p, 0.6);
+  // id ≈ Is·e^(0.6/0.02585) ≈ 1e-14·1.2e10 ≈ 1.2e-4.
+  EXPECT_GT(fwd.id, 1e-5);
+  EXPECT_LT(fwd.id, 1e-2);
+  const DiodeState rev = diodeEval(p, -5.0);
+  EXPECT_LT(rev.id, 0.0);
+  EXPECT_GT(rev.id, -1e-9);
+}
+
+TEST(DiodeModel, LimitedExponentialStaysFinite) {
+  DiodeParams p;
+  const DiodeState s = diodeEval(p, 5.0);  // would overflow unlimited exp
+  EXPECT_TRUE(std::isfinite(s.id));
+  EXPECT_TRUE(std::isfinite(s.gd));
+  EXPECT_GT(s.gd, 0.0);
+}
+
+// ---------------------------------------------------------------- netlist --
+
+TEST(NetlistTest, NodeCreationAndGroundAliases) {
+  Netlist n;
+  EXPECT_EQ(n.node("0"), kGround);
+  EXPECT_EQ(n.node("gnd"), kGround);
+  const NodeId a = n.node("a");
+  EXPECT_EQ(n.node("a"), a);  // idempotent
+  EXPECT_NE(n.node("b"), a);
+  EXPECT_EQ(n.numNodes(), 2u);
+  EXPECT_EQ(n.nodeName(a), "a");
+}
+
+TEST(NetlistTest, RejectsBadComponents) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  EXPECT_THROW(n.addResistor("r", a, kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(n.addCapacitor("c", a, kGround, -1e-12),
+               std::invalid_argument);
+  EXPECT_THROW(n.addResistor("r", 42, kGround, 1e3), std::invalid_argument);
+}
+
+TEST(NetlistTest, NamedLookups) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.addVSource("vdd", a, kGround, Waveform::dc(1.0));
+  n.addMosfet("m1", a, a, kGround, MosfetParams{});
+  EXPECT_EQ(n.vsourceIndex("vdd"), 0u);
+  EXPECT_EQ(n.mosfetIndex("m1"), 0u);
+  EXPECT_THROW(n.vsourceIndex("nope"), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- DC --
+
+TEST(DcAnalysis, VoltageDivider) {
+  Netlist n;
+  const NodeId vin = n.node("in"), mid = n.node("mid");
+  n.addVSource("v1", vin, kGround, Waveform::dc(10.0));
+  n.addResistor("r1", vin, mid, 1e3);
+  n.addResistor("r2", mid, kGround, 3e3);
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.solution[static_cast<std::size_t>(mid)], 7.5, 1e-6);
+}
+
+TEST(DcAnalysis, VsourceCurrentSign) {
+  // 10 V across 1 kΩ: 10 mA flows out of + terminal through the circuit,
+  // so the SPICE branch current (into +) is −10 mA.
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.addVSource("v1", a, kGround, Waveform::dc(10.0));
+  n.addResistor("r1", a, kGround, 1e3);
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(sim.vsourceCurrent(dc.solution, 0), -10e-3, 1e-9);
+}
+
+TEST(DcAnalysis, CurrentSourceIntoResistor) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.addISource("i1", kGround, a, Waveform::dc(1e-3));  // inject into a
+  n.addResistor("r1", a, kGround, 2e3);
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.solution[static_cast<std::size_t>(a)], 2.0, 1e-6);
+}
+
+TEST(DcAnalysis, InductorIsDcShort) {
+  Netlist n;
+  const NodeId vin = n.node("in"), mid = n.node("mid");
+  n.addVSource("v1", vin, kGround, Waveform::dc(5.0));
+  n.addInductor("l1", vin, mid, 1e-9);
+  n.addResistor("r1", mid, kGround, 1e3);
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.solution[static_cast<std::size_t>(mid)], 5.0, 1e-6);
+  EXPECT_NEAR(sim.inductorCurrent(dc.solution, 0), 5e-3, 1e-8);
+}
+
+TEST(DcAnalysis, DiodeDropIsAboutSixHundredMillivolts) {
+  Netlist n;
+  const NodeId vin = n.node("in"), mid = n.node("mid");
+  n.addVSource("v1", vin, kGround, Waveform::dc(5.0));
+  n.addResistor("r1", vin, mid, 10e3);
+  n.addDiode("d1", mid, kGround, DiodeParams{});
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  const double vd = dc.solution[static_cast<std::size_t>(mid)];
+  EXPECT_GT(vd, 0.4);
+  EXPECT_LT(vd, 0.75);
+}
+
+TEST(DcAnalysis, NmosSaturationBiasMatchesSquareLaw) {
+  // VDD=3V, drain resistor 10k, vgs=1.0, vt=0.5, kp=2e-4, W/L=10:
+  // id = 0.5·2e-3·0.25 = 0.25 mA (λ=0) → vd = 3 − 2.5 = 0.5 V.
+  Netlist n;
+  const NodeId vdd = n.node("vdd"), d = n.node("d"), g = n.node("g");
+  n.addVSource("vdd", vdd, kGround, Waveform::dc(3.0));
+  n.addVSource("vg", g, kGround, Waveform::dc(1.0));
+  n.addResistor("rd", vdd, d, 10e3);
+  MosfetParams p;
+  p.vt0 = 0.5;
+  p.kp = 2e-4;
+  p.lambda = 0.0;
+  p.w = 10e-6;
+  p.l = 1e-6;
+  n.addMosfet("m1", d, g, kGround, p);
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.solution[static_cast<std::size_t>(d)], 0.5, 1e-3);
+  EXPECT_NEAR(sim.mosfetCurrent(dc.solution, 0), 0.25e-3, 1e-7);
+}
+
+TEST(DcAnalysis, PmosSourceFollowsSupply) {
+  // PMOS with gate at 0, source at VDD=2V: |vgs| = 2 ≫ vt → on, drain
+  // pulls the 100k load high.
+  Netlist n;
+  const NodeId vdd = n.node("vdd"), d = n.node("d");
+  n.addVSource("vdd", vdd, kGround, Waveform::dc(2.0));
+  MosfetParams p;
+  p.is_pmos = true;
+  p.vt0 = 0.5;
+  p.w = 20e-6;
+  p.l = 1e-6;
+  n.addMosfet("m1", d, kGround, vdd, p);  // d, g=gnd, s=vdd
+  n.addResistor("rl", d, kGround, 100e3);
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_GT(dc.solution[static_cast<std::size_t>(d)], 1.8);
+}
+
+TEST(DcAnalysis, NmosCurrentMirrorRatio) {
+  // Diode-connected reference at 100 µA mirrored into a 2× wide device.
+  Netlist n;
+  const NodeId ref = n.node("ref"), out = n.node("out"),
+               vdd = n.node("vdd");
+  n.addVSource("vdd", vdd, kGround, Waveform::dc(3.0));
+  n.addISource("iref", vdd, ref, Waveform::dc(100e-6));
+  MosfetParams p;
+  p.vt0 = 0.5;
+  p.kp = 2e-4;
+  p.lambda = 0.0;  // ideal mirror
+  p.w = 10e-6;
+  p.l = 1e-6;
+  n.addMosfet("m_ref", ref, ref, kGround, p);  // diode-connected
+  MosfetParams p2 = p;
+  p2.w = 20e-6;
+  n.addMosfet("m_out", out, ref, kGround, p2);
+  n.addResistor("r_out", vdd, out, 5e3);
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(sim.mosfetCurrent(dc.solution, 1), 200e-6, 2e-6);
+}
+
+// ---------------------------------------------------------------- transient --
+
+TEST(TransientAnalysis, RcStepChargingMatchesExponential) {
+  // 1 V step into RC with τ = 1 µs.
+  Netlist n;
+  const NodeId in = n.node("in"), out = n.node("out");
+  n.addVSource("v1", in, kGround,
+               Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, 0.0));
+  n.addResistor("r1", in, out, 1e3);
+  n.addCapacitor("c1", out, kGround, 1e-9);
+  Simulator sim(n);
+  const TransientResult tr = sim.transient(5e-6, 1e-8);
+  ASSERT_TRUE(tr.converged);
+  const double tau = 1e-6;
+  for (std::size_t k = 10; k < tr.time.size(); k += 50) {
+    const double expected = 1.0 - std::exp(-tr.time[k] / tau);
+    EXPECT_NEAR(tr.nodeVoltage(k, out), expected, 0.01)
+        << "t=" << tr.time[k];
+  }
+}
+
+TEST(TransientAnalysis, RlCurrentRiseMatchesExponential) {
+  // 1 V step into R=1k, L=1mH: i(t) = (V/R)(1 − e^{−t/τ}), τ = 1 µs.
+  Netlist n;
+  const NodeId in = n.node("in"), mid = n.node("mid");
+  n.addVSource("v1", in, kGround,
+               Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, 0.0));
+  n.addResistor("r1", in, mid, 1e3);
+  n.addInductor("l1", mid, kGround, 1e-3);
+  Simulator sim(n);
+  const TransientResult tr = sim.transient(5e-6, 1e-8);
+  ASSERT_TRUE(tr.converged);
+  const double tau = 1e-6;
+  for (std::size_t k = 20; k < tr.time.size(); k += 60) {
+    const double expected = 1e-3 * (1.0 - std::exp(-tr.time[k] / tau));
+    EXPECT_NEAR(sim.inductorCurrent(tr.solution[k], 0), expected, 2e-5)
+        << "t=" << tr.time[k];
+  }
+}
+
+TEST(TransientAnalysis, SinusoidalSteadyStateAmplitudeRcLowpass) {
+  // RC low-pass at its corner frequency: |H| = 1/√2, phase −45°.
+  const double f = 1e6;
+  const double r = 1e3;
+  const double c = 1.0 / (2.0 * std::numbers::pi * f * r);  // corner at f
+  Netlist n;
+  const NodeId in = n.node("in"), out = n.node("out");
+  n.addVSource("v1", in, kGround, Waveform::sine(0.0, 1.0, f));
+  n.addResistor("r1", in, out, r);
+  n.addCapacitor("c1", out, kGround, c);
+  Simulator sim(n);
+  // 20 periods, 200 steps per period; analyze after 10 periods.
+  const TransientResult tr = sim.transient(20e-6, 1.0 / (200.0 * f));
+  ASSERT_TRUE(tr.converged);
+  const auto harmonics = nodeHarmonics(tr, out, f, 3, 10e-6);
+  EXPECT_NEAR(harmonics[1].magnitude, 1.0 / std::sqrt(2.0), 0.01);
+}
+
+TEST(TransientAnalysis, CapacitorBlocksDc) {
+  // Series C into R load: in steady state, no DC passes.
+  Netlist n;
+  const NodeId in = n.node("in"), out = n.node("out");
+  n.addVSource("v1", in, kGround, Waveform::dc(5.0));
+  n.addCapacitor("c1", in, out, 1e-9);
+  n.addResistor("r1", out, kGround, 1e3);
+  Simulator sim(n);
+  const TransientResult tr = sim.transient(20e-6, 1e-8);
+  ASSERT_TRUE(tr.converged);
+  EXPECT_NEAR(tr.nodeVoltage(tr.time.size() - 1, out), 0.0, 1e-3);
+}
+
+TEST(TransientAnalysis, EnergyConservationLcTank) {
+  // Ideal LC tank rung from an initial capacitor charge via a source that
+  // disconnects: amplitude should persist (trapezoid is non-dissipative).
+  const double l = 1e-6, c = 1e-12;
+  const double f0 = 1.0 / (2.0 * std::numbers::pi * std::sqrt(l * c));
+  Netlist n;
+  const NodeId top = n.node("top");
+  // Huge resistor keeps the DC solvable; source charges the cap via a big
+  // resistor, then the tank oscillates nearly freely.
+  n.addVSource("v1", n.node("src"), kGround,
+               Waveform::pulse(1.0, 0.0, 1e-12, 1e-12, 1e-12, 1.0, 0.0));
+  n.addResistor("rbig", n.node("src"), top, 1e9);
+  n.addCapacitor("c1", top, kGround, c);
+  n.addInductor("l1", top, kGround, l);
+  Simulator sim(n);
+  const TransientResult tr = sim.transient(20.0 / f0, 1.0 / (400.0 * f0));
+  ASSERT_TRUE(tr.converged);
+  // Peak voltage in the last quarter vs the first quarter after startup.
+  double early_peak = 0.0, late_peak = 0.0;
+  for (std::size_t k = 0; k < tr.time.size() / 4; ++k)
+    early_peak = std::max(early_peak, std::abs(tr.nodeVoltage(k, top)));
+  for (std::size_t k = 3 * tr.time.size() / 4; k < tr.time.size(); ++k)
+    late_peak = std::max(late_peak, std::abs(tr.nodeVoltage(k, top)));
+  EXPECT_NEAR(late_peak, early_peak, 0.05 * early_peak + 1e-6);
+}
+
+TEST(TransientAnalysis, ThrowsOnBadTiming) {
+  Netlist n;
+  n.addResistor("r", n.node("a"), kGround, 1.0);
+  Simulator sim(n);
+  EXPECT_THROW(sim.transient(0.0, 1e-9), std::invalid_argument);
+  EXPECT_THROW(sim.transient(1e-6, 0.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- FFT --
+
+TEST(FftTest, KnownSpectrumOfPureTone) {
+  const std::size_t n = 256;
+  std::vector<std::complex<double>> data(n);
+  // cos(2π·8·k/n): bins 8 and n−8 get n/2 each.
+  for (std::size_t k = 0; k < n; ++k)
+    data[k] = std::cos(2.0 * std::numbers::pi * 8.0 * static_cast<double>(k) /
+                       static_cast<double>(n));
+  fftRadix2(data);
+  EXPECT_NEAR(std::abs(data[8]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - 8]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[7]), 0.0, 1e-9);
+}
+
+TEST(FftTest, LinearityAndParseval) {
+  const std::size_t n = 128;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = static_cast<double>(k);
+    data[k] = std::sin(0.3 * t) + 0.5 * std::cos(0.7 * t);
+    time_energy += std::norm(data[k]);
+  }
+  fftRadix2(data);
+  double freq_energy = 0.0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-9 * time_energy);
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(100);
+  EXPECT_THROW(fftRadix2(data), std::invalid_argument);
+}
+
+TEST(HarmonicAnalysisTest, RecoversSynthesizedHarmonics) {
+  const double f0 = 1e3, dt = 1.0 / (1000.0 * f0);
+  std::vector<double> samples;
+  for (std::size_t k = 0; k <= 5000; ++k) {  // 5 periods
+    const double t = static_cast<double>(k) * dt;
+    samples.push_back(0.2 +
+                      1.5 * std::sin(2 * std::numbers::pi * f0 * t + 0.3) +
+                      0.4 * std::sin(2 * std::numbers::pi * 2 * f0 * t) +
+                      0.1 * std::sin(2 * std::numbers::pi * 3 * f0 * t));
+  }
+  const auto h = harmonicAnalysis(samples, dt, f0, 4);
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_NEAR(h[0].magnitude, 0.2, 1e-6);
+  EXPECT_NEAR(h[1].magnitude, 1.5, 1e-6);
+  EXPECT_NEAR(h[2].magnitude, 0.4, 1e-6);
+  EXPECT_NEAR(h[3].magnitude, 0.1, 1e-6);
+  EXPECT_NEAR(h[4].magnitude, 0.0, 1e-6);
+  const double expected_thd = std::sqrt(0.4 * 0.4 + 0.1 * 0.1) / 1.5;
+  EXPECT_NEAR(totalHarmonicDistortion(h), expected_thd, 1e-6);
+  EXPECT_NEAR(totalHarmonicDistortionDb(h),
+              20.0 * std::log10(expected_thd), 1e-6);
+}
+
+TEST(HarmonicAnalysisTest, PureToneThdIsZero) {
+  const double f0 = 1e3, dt = 1e-6;
+  std::vector<double> samples;
+  for (std::size_t k = 0; k <= 3000; ++k)
+    samples.push_back(
+        std::sin(2 * std::numbers::pi * f0 * static_cast<double>(k) * dt));
+  const auto h = harmonicAnalysis(samples, dt, f0, 5);
+  EXPECT_NEAR(totalHarmonicDistortion(h), 0.0, 1e-9);
+}
+
+TEST(HarmonicAnalysisTest, ThrowsWhenWindowTooShort) {
+  std::vector<double> samples(10, 1.0);
+  EXPECT_THROW(harmonicAnalysis(samples, 1e-6, 1e3, 2),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- measure --
+
+TEST(MeasureTest, AverageSourcePowerIntoResistor) {
+  // 2 V DC across 100 Ω: P = 40 mW delivered.
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.addVSource("v1", a, kGround, Waveform::dc(2.0));
+  n.addResistor("r1", a, kGround, 100.0);
+  Simulator sim(n);
+  const TransientResult tr = sim.transient(1e-6, 1e-8);
+  ASSERT_TRUE(tr.converged);
+  EXPECT_NEAR(averageSourcePower(sim, tr, 0, 0.0), 0.04, 1e-6);
+}
+
+TEST(MeasureTest, SineSourceIntoResistorAveragePower) {
+  // 1 V amplitude sine across 50 Ω: P = V²/(2R) = 10 mW.
+  const double f = 1e6;
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.addVSource("v1", a, kGround, Waveform::sine(0.0, 1.0, f));
+  n.addResistor("r1", a, kGround, 50.0);
+  Simulator sim(n);
+  const TransientResult tr = sim.transient(10e-6, 1.0 / (500.0 * f));
+  ASSERT_TRUE(tr.converged);
+  EXPECT_NEAR(averageSourcePower(sim, tr, 0, 5e-6), 0.01, 2e-4);
+  EXPECT_NEAR(fundamentalLoadPower(tr, a, 50.0, f, 5e-6), 0.01, 1e-4);
+}
+
+TEST(MeasureTest, MosfetCurrentStatsOnSwitchedDevice) {
+  // Square-wave gate: current toggles between 0 and the saturation value.
+  Netlist n;
+  const NodeId vdd = n.node("vdd"), d = n.node("d"), g = n.node("g");
+  n.addVSource("vdd", vdd, kGround, Waveform::dc(2.0));
+  n.addVSource("vg", g, kGround,
+               Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 0.5e-6, 1e-6));
+  n.addResistor("rd", vdd, d, 1e3);
+  MosfetParams p;
+  p.vt0 = 0.5;
+  p.kp = 2e-4;
+  p.lambda = 0.0;
+  p.w = 10e-6;
+  p.l = 1e-6;
+  n.addMosfet("m1", d, g, kGround, p);
+  Simulator sim(n);
+  const TransientResult tr = sim.transient(4e-6, 2e-9);
+  ASSERT_TRUE(tr.converged);
+  const CurrentStats stats = mosfetCurrentStats(sim, tr, 0, 1e-6);
+  EXPECT_NEAR(stats.min, 0.0, 1e-6);
+  EXPECT_NEAR(stats.max, 0.25e-3, 1e-5);
+  EXPECT_NEAR(stats.avg, 0.125e-3, 2e-5);
+}
+
+// -------------------------------------------------------------------- PVT --
+
+TEST(PvtTest, GridHas27CornersCenteredOnNominal) {
+  const auto grid = fullPvtGrid();
+  ASSERT_EQ(grid.size(), 27u);
+  const PvtCorner& center = grid[13];
+  EXPECT_DOUBLE_EQ(center.kp_scale, 1.0);
+  EXPECT_DOUBLE_EQ(center.vdd_scale, 1.0);
+  EXPECT_DOUBLE_EQ(center.temp_c, 27.0);
+}
+
+TEST(PvtTest, NominalCornerIsIdentityOnParams) {
+  MosfetParams p;
+  p.kp = 3e-4;
+  p.vt0 = 0.45;
+  const MosfetParams q = applyCorner(p, nominalCorner());
+  EXPECT_NEAR(q.kp, p.kp, 1e-12);
+  EXPECT_NEAR(q.vt0, p.vt0, 1e-12);
+}
+
+TEST(PvtTest, CornersMoveParametersInTheRightDirection) {
+  MosfetParams p;
+  const auto grid = fullPvtGrid();
+  // At matched supply and temperature, process ordering is SS < TT < FF in
+  // mobility and SS > TT > FF in threshold.
+  for (std::size_t i = 0; i < 9; ++i) {
+    const MosfetParams ss = applyCorner(p, grid[i]);        // SS block
+    const MosfetParams tt = applyCorner(p, grid[9 + i]);    // TT block
+    const MosfetParams ff = applyCorner(p, grid[18 + i]);   // FF block
+    EXPECT_LT(ss.kp, tt.kp);
+    EXPECT_LT(tt.kp, ff.kp);
+    EXPECT_GT(ss.vt0, tt.vt0);
+    EXPECT_GT(tt.vt0, ff.vt0);
+  }
+  for (const PvtCorner& c : grid) {
+    const MosfetParams q = applyCorner(p, c);
+    EXPECT_GT(q.kp, 0.0);
+    EXPECT_GT(q.vt0, 0.0);
+  }
+  // Hot silicon: slower (lower kp), lower vt. Cold silicon: faster.
+  PvtCorner hot = nominalCorner();
+  hot.temp_c = 125.0;
+  const MosfetParams h = applyCorner(p, hot);
+  EXPECT_LT(h.kp, p.kp);
+  EXPECT_LT(h.vt0, p.vt0);
+  PvtCorner cold = nominalCorner();
+  cold.temp_c = -40.0;
+  EXPECT_GT(applyCorner(p, cold).kp, p.kp);
+}
+
+TEST(PvtTest, CornerCurrentsSpreadAroundNominal) {
+  // The same bias point simulated across corners must produce a current
+  // spread that brackets the nominal value — the property the charge-pump
+  // constraints are built on.
+  MosfetParams p;
+  p.vt0 = 0.5;
+  p.kp = 2e-4;
+  p.w = 10e-6;
+  p.l = 1e-6;
+  const double nominal_id = mosfetEval(p, 1.0, 1.5).id;
+  double lo = nominal_id, hi = nominal_id;
+  for (const PvtCorner& c : fullPvtGrid()) {
+    const double id = mosfetEval(applyCorner(p, c), 1.0, 1.5).id;
+    lo = std::min(lo, id);
+    hi = std::max(hi, id);
+  }
+  EXPECT_LT(lo, 0.95 * nominal_id);
+  EXPECT_GT(hi, 1.05 * nominal_id);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Tests for the controlled sources (VCVS / VCCS) across all three
+// analyses, plus their parser cards.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.h"
+#include "circuit/parser.h"
+#include "circuit/simulator.h"
+
+namespace {
+
+using namespace mfbo::circuit;
+
+TEST(Vcvs, DcIdealAmplifier) {
+  // out = 10 × in, regardless of load.
+  Netlist n;
+  const NodeId in = n.node("in"), out = n.node("out");
+  n.addVSource("vin", in, kGround, Waveform::dc(0.25));
+  n.addVcvs("e1", out, kGround, in, kGround, 10.0);
+  n.addResistor("rl", out, kGround, 50.0);  // heavy load, no sag
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.solution[static_cast<std::size_t>(out)], 2.5, 1e-9);
+}
+
+TEST(Vcvs, DifferentialSensing) {
+  // e = 4·(v_a − v_b) with both controls off-ground.
+  Netlist n;
+  const NodeId a = n.node("a"), b = n.node("b"), out = n.node("out");
+  n.addVSource("va", a, kGround, Waveform::dc(1.2));
+  n.addVSource("vb", b, kGround, Waveform::dc(0.7));
+  n.addVcvs("e1", out, kGround, a, b, 4.0);
+  n.addResistor("rl", out, kGround, 1e3);
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.solution[static_cast<std::size_t>(out)], 2.0, 1e-9);
+}
+
+TEST(Vccs, DcTransconductor) {
+  // i = gm·v_in into a load resistor: v_out = −gm·v_in·R (current leaves
+  // the np terminal).
+  Netlist n;
+  const NodeId in = n.node("in"), out = n.node("out");
+  n.addVSource("vin", in, kGround, Waveform::dc(0.5));
+  n.addVccs("g1", out, kGround, in, kGround, 1e-3);
+  n.addResistor("rl", out, kGround, 2e3);
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  // Current 0.5 mA flows out → gnd through the source, pulling the node
+  // negative across the resistor: v = −i·R = −1.0 V.
+  EXPECT_NEAR(dc.solution[static_cast<std::size_t>(out)], -1.0, 1e-6);
+}
+
+TEST(Vccs, BehavioralAmplifierMacromodel) {
+  // Classic single-pole op-amp macromodel: gm into R ∥ C gives a
+  // one-pole response with DC gain gm·R — all with controlled sources.
+  const double gm = 1e-3, r = 1e6, c = 1e-12;
+  Netlist n;
+  const NodeId in = n.node("in"), pole = n.node("pole");
+  const std::size_t vin =
+      n.addVSource("vin", in, kGround, Waveform::dc(0.0));
+  n.vsources()[vin].ac_magnitude = 1.0;
+  // Inverted control so the macromodel is non-inverting overall.
+  n.addVccs("g1", kGround, pole, in, kGround, gm);
+  n.addResistor("r1", pole, kGround, r);
+  n.addCapacitor("c1", pole, kGround, c);
+  Simulator sim(n);
+  const AcResult ac = acAnalysis(sim, 1e1, 1e10, 10);
+  ASSERT_TRUE(ac.converged);
+  const double dc_gain = std::abs(ac.nodePhasor(0, pole));
+  EXPECT_NEAR(dc_gain, gm * r, 0.01 * gm * r);
+  // Unity crossing at gm/(2πC), like the MOSFET integrator.
+  const double fu = unityGainFrequency(ac, pole);
+  EXPECT_NEAR(fu, gm / (2.0 * M_PI * c), 0.05 * gm / (2.0 * M_PI * c));
+}
+
+TEST(Vcvs, TransientFollowsControlInstantly) {
+  Netlist n;
+  const NodeId in = n.node("in"), out = n.node("out");
+  n.addVSource("vin", in, kGround, Waveform::sine(0.0, 1.0, 1e6));
+  n.addVcvs("e1", out, kGround, in, kGround, 3.0);
+  n.addResistor("rl", out, kGround, 1e3);
+  Simulator sim(n);
+  const TransientResult tr = sim.transient(2e-6, 1e-8);
+  ASSERT_TRUE(tr.converged);
+  for (std::size_t k = 0; k < tr.time.size(); k += 17) {
+    EXPECT_NEAR(tr.nodeVoltage(k, out), 3.0 * tr.nodeVoltage(k, in), 1e-6);
+  }
+}
+
+TEST(ControlledSources, ParserCards) {
+  const Netlist n = parseNetlist(R"(
+Vin in 0 DC 0.5
+E1 outv 0 in 0 10
+G1 outc 0 in 0 2m
+Rl1 outv 0 1k
+Rl2 outc 0 1k
+)");
+  ASSERT_EQ(n.vcvs().size(), 1u);
+  ASSERT_EQ(n.vccs().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.vcvs()[0].gain, 10.0);
+  EXPECT_DOUBLE_EQ(n.vccs()[0].gm, 2e-3);
+
+  Simulator sim(n);
+  const DcResult dc = sim.dcOperatingPoint();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.solution[static_cast<std::size_t>(n.vcvs()[0].np)], 5.0,
+              1e-6);
+  EXPECT_NEAR(dc.solution[static_cast<std::size_t>(n.vccs()[0].np)], -1.0,
+              1e-6);
+}
+
+TEST(ControlledSources, ParserRejectsShortCards) {
+  EXPECT_THROW(parseNetlist("E1 a 0 b\n"), std::invalid_argument);
+  EXPECT_THROW(parseNetlist("G1 a 0 b 0\n"), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for the ≥2-level recursive NARGP extension (the generalization the
+// paper motivates in §1 but leaves to "simplicity" reasons).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mf/multilevel.h"
+#include "mf/nargp.h"
+
+namespace {
+
+using namespace mfbo;
+using linalg::Vector;
+
+// A three-fidelity cascade on [0,1] (from the Perdikaris et al. multi-level
+// benchmark family): each level is a nonlinear transformation of the one
+// below.
+double level0(double x) { return std::sin(8.0 * M_PI * x); }
+double level1(double x) {
+  // Quadratic map of f0 plus a linear trend that is invisible through
+  // y0 alone — the middle-fidelity data is genuinely informative.
+  const double y = level0(x);
+  return 0.8 * y * y - 0.4 * y + 0.5 * x;
+}
+double level2(double x) {
+  const double y = level1(x);
+  return (x - 0.5) * y + 0.2 * y * y;  // quartic in f0 through the cascade
+}
+
+struct Cascade {
+  std::vector<std::vector<Vector>> x;
+  std::vector<std::vector<double>> y;
+};
+
+Cascade makeCascade(std::size_t n0, std::size_t n1, std::size_t n2) {
+  Cascade c;
+  c.x.resize(3);
+  c.y.resize(3);
+  auto fill = [&](std::size_t level, std::size_t n, double (*f)(double)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+      c.x[level].push_back(Vector{x});
+      c.y[level].push_back(f(x));
+    }
+  };
+  fill(0, n0, level0);
+  fill(1, n1, level1);
+  fill(2, n2, level2);
+  return c;
+}
+
+mf::MultilevelConfig fastConfig() {
+  mf::MultilevelConfig cfg;
+  cfg.gp.n_restarts = 3;
+  cfg.gp.lbfgs.max_iterations = 40;
+  cfg.n_mc = 30;
+  return cfg;
+}
+
+double rmseAtLevel(const mf::MultilevelNargp& model, std::size_t level,
+                   double (*truth)(double)) {
+  double acc = 0.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double x = i / 100.0;
+    const double err = model.predict(level, Vector{x}).mean - truth(x);
+    acc += err * err;
+  }
+  return std::sqrt(acc / 101.0);
+}
+
+TEST(Multilevel, ConstructionValidation) {
+  EXPECT_THROW(mf::MultilevelNargp(0, 3), std::invalid_argument);
+  EXPECT_THROW(mf::MultilevelNargp(1, 1), std::invalid_argument);
+  mf::MultilevelNargp model(2, 4);
+  EXPECT_EQ(model.numLevels(), 4u);
+  EXPECT_EQ(model.xDim(), 2u);
+}
+
+TEST(Multilevel, FitValidation) {
+  mf::MultilevelNargp model(1, 3, fastConfig());
+  EXPECT_THROW(model.predict(0, Vector{0.5}), std::logic_error);
+  auto c = makeCascade(8, 5, 3);
+  c.x.pop_back();  // wrong level count
+  c.y.pop_back();
+  EXPECT_THROW(model.fit(c.x, c.y), std::invalid_argument);
+}
+
+TEST(Multilevel, Level0MatchesPlainGp) {
+  auto c = makeCascade(33, 15, 8);
+  mf::MultilevelNargp model(1, 3, fastConfig());
+  model.fit(c.x, c.y);
+  // Level 0 is exact GP inference on the cheap data.
+  for (double x : {0.2, 0.5, 0.8})
+    EXPECT_NEAR(model.predict(0, Vector{x}).mean, level0(x), 0.1);
+}
+
+TEST(Multilevel, FitsAllLevelsOfTheCascade) {
+  auto c = makeCascade(40, 20, 12);
+  mf::MultilevelNargp model(1, 3, fastConfig());
+  model.fit(c.x, c.y);
+  EXPECT_LT(rmseAtLevel(model, 0, level0), 0.05);
+  EXPECT_LT(rmseAtLevel(model, 1, level1), 0.08);
+  EXPECT_LT(rmseAtLevel(model, 2, level2), 0.15);
+}
+
+TEST(Multilevel, ThreeLevelsBeatTwoOnSparseTopData) {
+  // The motivating claim: with very few top-level samples, routing the
+  // information through an intermediate fidelity beats fusing the cheap
+  // level directly with the expensive one.
+  auto c = makeCascade(40, 20, 8);
+
+  mf::MultilevelNargp three(1, 3, fastConfig());
+  three.fit(c.x, c.y);
+
+  mf::NargpConfig two_cfg;
+  two_cfg.low.n_restarts = 1;
+  two_cfg.high.n_restarts = 1;
+  two_cfg.n_mc = 30;
+  mf::NargpModel two(1, two_cfg);
+  two.fit(c.x[0], c.y[0], c.x[2], c.y[2]);  // skip the middle fidelity
+
+  double two_rmse = 0.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double x = i / 100.0;
+    const double err = two.predictHigh(Vector{x}).mean - level2(x);
+    two_rmse += err * err;
+  }
+  two_rmse = std::sqrt(two_rmse / 101.0);
+
+  EXPECT_LT(rmseAtLevel(three, 2, level2), two_rmse);
+}
+
+TEST(Multilevel, PredictionDeterministicBetweenUpdates) {
+  auto c = makeCascade(17, 9, 5);
+  mf::MultilevelNargp model(1, 3, fastConfig());
+  model.fit(c.x, c.y);
+  const auto a = model.predict(2, Vector{0.37});
+  const auto b = model.predict(2, Vector{0.37});
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.var, b.var);
+}
+
+TEST(Multilevel, AddPointShrinksVarianceAtThatLevel) {
+  auto c = makeCascade(17, 9, 5);
+  mf::MultilevelNargp model(1, 3, fastConfig());
+  model.fit(c.x, c.y);
+  const Vector q{0.61};
+  const double var_before = model.predict(2, q).var;
+  model.add(2, q, level2(0.61), /*retrain=*/false);
+  EXPECT_LT(model.predict(2, q).var, var_before);
+  EXPECT_EQ(model.numPoints(2), 6u);
+}
+
+TEST(Multilevel, AddAtBottomPropagatesUp) {
+  auto c = makeCascade(9, 6, 4);
+  mf::MultilevelNargp model(1, 3, fastConfig());
+  model.fit(c.x, c.y);
+  // Adding cheap data must not break the upper levels.
+  model.add(0, Vector{0.333}, level0(0.333), /*retrain=*/false);
+  EXPECT_EQ(model.numPoints(0), 10u);
+  const auto p = model.predict(2, Vector{0.4});
+  EXPECT_TRUE(std::isfinite(p.mean));
+  EXPECT_GT(p.var, 0.0);
+}
+
+TEST(Multilevel, TwoLevelInstanceAgreesWithNargpModelShape) {
+  // A 2-level MultilevelNargp is conceptually the paper's model; both
+  // should land close to the truth (they differ in MC details).
+  auto c = makeCascade(33, 15, 1);
+  mf::MultilevelNargp two(1, 2, fastConfig());
+  two.fit({c.x[0], c.x[1]}, {c.y[0], c.y[1]});
+  EXPECT_LT(rmseAtLevel(two, 1, level1), 0.1);
+}
+
+TEST(Multilevel, ThrowsOnBadLevelArguments) {
+  auto c = makeCascade(9, 6, 4);
+  mf::MultilevelNargp model(1, 3, fastConfig());
+  model.fit(c.x, c.y);
+  EXPECT_THROW(model.predict(3, Vector{0.5}), std::out_of_range);
+  EXPECT_THROW(model.add(3, Vector{0.5}, 0.0), std::out_of_range);
+  EXPECT_THROW(model.numPoints(5), std::out_of_range);
+  EXPECT_THROW(model.add(0, Vector{0.1, 0.2}, 0.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for the two-stage op-amp testbench (the AC-analysis consumer).
+#include <gtest/gtest.h>
+
+#include "bo/mfbo.h"
+#include "problems/opamp.h"
+
+namespace {
+
+using namespace mfbo::problems;
+using mfbo::bo::Evaluation;
+using mfbo::bo::Fidelity;
+using mfbo::bo::Vector;
+
+class OpampTest : public ::testing::Test {
+ protected:
+  OpampProblem op;
+};
+
+TEST_F(OpampTest, MetadataIsConsistent) {
+  EXPECT_EQ(op.dim(), 10u);
+  EXPECT_EQ(op.numConstraints(), 3u);
+  EXPECT_DOUBLE_EQ(op.costRatio(), 10.0);
+  EXPECT_TRUE(op.bounds().contains(op.referenceDesign()));
+}
+
+TEST_F(OpampTest, ReferenceDesignIsFeasibleWithHealthyMargins) {
+  const Evaluation e = op.evaluate(op.referenceDesign(), Fidelity::kHigh);
+  EXPECT_TRUE(e.feasible()) << "violation = " << e.totalViolation();
+  // Gain above 50 dB for the reference sizing.
+  EXPECT_LT(e.objective, -50.0);
+}
+
+TEST_F(OpampTest, HandAnalysisMatchesAcOnDcGain) {
+  // The textbook gain formula evaluated at the simulated operating point
+  // must agree closely with the AC sweep at low frequency; UGF and PM are
+  // only approximated (that is the fidelity gap).
+  const OpampPerformance lo = op.simulate(op.referenceDesign(),
+                                          Fidelity::kLow);
+  const OpampPerformance hi = op.simulate(op.referenceDesign(),
+                                          Fidelity::kHigh);
+  ASSERT_TRUE(lo.valid);
+  ASSERT_TRUE(hi.valid);
+  EXPECT_NEAR(lo.gain_db, hi.gain_db, 1.0);
+  EXPECT_NEAR(lo.power_mw, hi.power_mw, 1e-9);  // same DC solve
+  // The hand UGF is systematically optimistic (ignores loading), but in
+  // the same ballpark.
+  EXPECT_GT(lo.ugf_hz, hi.ugf_hz);
+  EXPECT_LT(lo.ugf_hz, 3.0 * hi.ugf_hz);
+}
+
+TEST_F(OpampTest, MillerCapControlsBandwidthTradeoff) {
+  // Larger Cc: lower UGF, better phase margin — the fundamental
+  // compensation knob.
+  Vector x = op.referenceDesign();
+  const OpampPerformance base = op.simulate(x, Fidelity::kHigh);
+  x[8] *= 2.5;  // C_c
+  const OpampPerformance comp = op.simulate(x, Fidelity::kHigh);
+  ASSERT_TRUE(base.valid);
+  ASSERT_TRUE(comp.valid);
+  EXPECT_LT(comp.ugf_hz, base.ugf_hz);
+  EXPECT_GT(comp.pm_deg, base.pm_deg);
+}
+
+TEST_F(OpampTest, BiasCurrentControlsPower) {
+  Vector x = op.referenceDesign();
+  const OpampPerformance base = op.simulate(x, Fidelity::kHigh);
+  x[9] *= 2.0;  // I_bias
+  const OpampPerformance hot = op.simulate(x, Fidelity::kHigh);
+  ASSERT_TRUE(base.valid);
+  ASSERT_TRUE(hot.valid);
+  EXPECT_GT(hot.power_mw, 1.5 * base.power_mw);
+}
+
+TEST_F(OpampTest, DeterministicEvaluation) {
+  const Evaluation a = op.evaluate(op.referenceDesign(), Fidelity::kHigh);
+  const Evaluation b = op.evaluate(op.referenceDesign(), Fidelity::kHigh);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.constraints, b.constraints);
+}
+
+TEST_F(OpampTest, ShortMfboRunImprovesOnInitialDesigns) {
+  // End-to-end smoke: Algorithm 1 on the op-amp at a tiny budget produces
+  // a valid result and at least one feasible design.
+  mfbo::bo::MfboOptions opt;
+  opt.n_init_low = 12;
+  opt.n_init_high = 4;
+  opt.budget = 12;
+  opt.msp.n_starts = 8;
+  opt.msp.local.max_evaluations = 60;
+  opt.nargp.n_mc = 30;
+  opt.nargp.low.n_restarts = 1;
+  opt.nargp.high.n_restarts = 1;
+  opt.retrain_every = 2;
+  const auto r = mfbo::bo::MfboSynthesizer(opt).run(op, 5);
+  EXPECT_GT(r.n_high, 0u);
+  EXPECT_GT(r.n_low, 0u);
+  EXPECT_TRUE(std::isfinite(r.best_eval.objective));
+}
+
+}  // namespace

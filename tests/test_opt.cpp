@@ -1,0 +1,276 @@
+// Unit and property tests for the mfbo::opt optimizers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/de.h"
+#include "opt/lbfgs.h"
+#include "opt/multistart.h"
+#include "opt/nelder_mead.h"
+#include "opt/objective.h"
+
+namespace {
+
+using namespace mfbo::opt;
+using mfbo::linalg::Rng;
+
+// Classic test functions ----------------------------------------------------
+
+double sphere(const Vector& x) { return x.squaredNorm(); }
+
+double rosenbrock(const Vector& x) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double a = x[i + 1] - x[i] * x[i];
+    const double b = 1.0 - x[i];
+    acc += 100.0 * a * a + b * b;
+  }
+  return acc;
+}
+
+double rastrigin(const Vector& x) {
+  double acc = 10.0 * static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    acc += x[i] * x[i] - 10.0 * std::cos(2.0 * M_PI * x[i]);
+  return acc;
+}
+
+double quadraticWithGrad(const Vector& x, Vector* grad) {
+  // f = (x0-3)^2 + 2(x1+1)^2
+  if (grad) {
+    *grad = Vector(2);
+    (*grad)[0] = 2.0 * (x[0] - 3.0);
+    (*grad)[1] = 4.0 * (x[1] + 1.0);
+  }
+  const double a = x[0] - 3.0, b = x[1] + 1.0;
+  return a * a + 2.0 * b * b;
+}
+
+// ------------------------------------------------------- numeric gradient --
+
+TEST(NumericGradient, MatchesAnalyticOnSmoothFunction) {
+  GradObjective numeric = withNumericGradient(rosenbrock);
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vector x = rng.uniformVector(3, -2.0, 2.0);
+    Vector g_num;
+    numeric(x, &g_num);
+    // Analytic Rosenbrock gradient.
+    Vector g(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (i + 1 < 3) {
+        g[i] += -400.0 * x[i] * (x[i + 1] - x[i] * x[i]) - 2.0 * (1.0 - x[i]);
+      }
+      if (i > 0) g[i] += 200.0 * (x[i] - x[i - 1] * x[i - 1]);
+    }
+    for (std::size_t i = 0; i < 3; ++i)
+      EXPECT_NEAR(g_num[i], g[i], 1e-3 * std::max(1.0, std::abs(g[i])));
+  }
+}
+
+TEST(NumericGradient, ValueIsPassedThrough) {
+  GradObjective numeric = withNumericGradient(sphere);
+  Vector x{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(numeric(x, nullptr), 5.0);
+}
+
+// ------------------------------------------------------------------ LBFGS --
+
+TEST(Lbfgs, SolvesQuadraticExactly) {
+  OptResult r = lbfgsMinimize(quadraticWithGrad, Vector{0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-5);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-5);
+  EXPECT_NEAR(r.value, 0.0, 1e-9);
+}
+
+TEST(Lbfgs, SolvesRosenbrockFromStandardStart) {
+  GradObjective f = withNumericGradient(rosenbrock, 1e-7);
+  LbfgsOptions opts;
+  opts.max_iterations = 500;
+  OptResult r = lbfgsMinimize(f, Vector{-1.2, 1.0}, std::nullopt, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(Lbfgs, RespectsBoxConstraint) {
+  // Unconstrained minimum at (3,-1) lies outside the box [0,2]x[0,2];
+  // the constrained minimizer is (2, 0).
+  Box box(Vector{0.0, 0.0}, Vector{2.0, 2.0});
+  OptResult r = lbfgsMinimize(quadraticWithGrad, Vector{1.0, 1.0}, box);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-5);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-5);
+  EXPECT_TRUE(box.contains(r.x));
+}
+
+TEST(Lbfgs, HandlesNanObjectiveGracefully) {
+  GradObjective nan_f = [](const Vector& x, Vector* grad) {
+    if (grad) *grad = Vector(x.size(), std::nan(""));
+    return std::nan("");
+  };
+  OptResult r = lbfgsMinimize(nan_f, Vector{1.0});
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.x.size(), 1u);
+}
+
+TEST(Lbfgs, StartAtMinimumConvergesImmediately) {
+  OptResult r = lbfgsMinimize(quadraticWithGrad, Vector{3.0, -1.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 1u);
+}
+
+// ------------------------------------------------------------ Nelder-Mead --
+
+TEST(NelderMead, SolvesSphere) {
+  OptResult r = nelderMeadMinimize(sphere, Vector{1.0, -1.0, 0.5});
+  EXPECT_NEAR(r.value, 0.0, 1e-6);
+}
+
+TEST(NelderMead, SolvesRosenbrock2d) {
+  NelderMeadOptions opts;
+  opts.max_evaluations = 2000;
+  OptResult r = nelderMeadMinimize(rosenbrock, Vector{-1.2, 1.0},
+                                   std::nullopt, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-2);
+}
+
+TEST(NelderMead, StaysInsideBox) {
+  Box box(Vector{0.5, 0.5}, Vector{4.0, 4.0});
+  ScalarObjective f = [](const Vector& x) {
+    return (x[0] + 1.0) * (x[0] + 1.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  NelderMeadOptions opts;
+  opts.max_evaluations = 500;
+  OptResult r = nelderMeadMinimize(f, Vector{2.0, 2.0}, box, opts);
+  EXPECT_TRUE(box.contains(r.x));
+  EXPECT_NEAR(r.x[0], 0.5, 1e-4);
+  EXPECT_NEAR(r.x[1], 0.5, 1e-4);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget) {
+  std::size_t calls = 0;
+  ScalarObjective counting = [&](const Vector& x) {
+    ++calls;
+    return sphere(x);
+  };
+  NelderMeadOptions opts;
+  opts.max_evaluations = 50;
+  nelderMeadMinimize(counting, Vector{5.0, 5.0, 5.0, 5.0}, std::nullopt, opts);
+  // Initial simplex (d+1) plus per-iteration evals can exceed by the last
+  // iteration's shrink at most.
+  EXPECT_LE(calls, 50u + 6u);
+}
+
+TEST(NelderMead, SurvivesNanRegions) {
+  ScalarObjective partial = [](const Vector& x) {
+    if (x[0] < 0.0) return std::nan("");
+    return (x[0] - 1.0) * (x[0] - 1.0);
+  };
+  OptResult r = nelderMeadMinimize(partial, Vector{0.5});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+}
+
+// --------------------------------------------------------------------- DE --
+
+TEST(De, SolvesSphereGlobally) {
+  Rng rng(101);
+  Box box(Vector{-5.0, -5.0, -5.0}, Vector{5.0, 5.0, 5.0});
+  DeOptions opts;
+  opts.population = 30;
+  opts.max_generations = 120;
+  OptResult r = deMinimize(sphere, box, rng, opts);
+  EXPECT_NEAR(r.value, 0.0, 1e-4);
+}
+
+TEST(De, EscapesRastriginLocalMinima) {
+  Rng rng(202);
+  Box box(Vector{-5.12, -5.12}, Vector{5.12, 5.12});
+  DeOptions opts;
+  opts.population = 40;
+  opts.max_generations = 200;
+  OptResult r = deMinimize(rastrigin, box, rng, opts);
+  // Global minimum 0 at origin; local minima are ≥ ~1.
+  EXPECT_LT(r.value, 0.5);
+}
+
+TEST(De, HonorsEvaluationCap) {
+  Rng rng(303);
+  Box box = Box::unitCube(4);
+  std::size_t calls = 0;
+  ScalarObjective counting = [&](const Vector& x) {
+    ++calls;
+    return sphere(x);
+  };
+  DeOptions opts;
+  opts.population = 20;
+  opts.max_generations = 1000;
+  opts.max_evaluations = 123;
+  OptResult r = deMinimize(counting, box, rng, opts);
+  EXPECT_EQ(calls, 123u);
+  EXPECT_EQ(r.evaluations, 123u);
+}
+
+TEST(De, CallbackCanStopEarly) {
+  Rng rng(404);
+  Box box = Box::unitCube(2);
+  std::size_t generations_seen = 0;
+  deMinimize(
+      sphere, box, rng, DeOptions{},
+      [&](std::size_t gen, double) {
+        generations_seen = gen + 1;
+        return gen < 4;  // stop after 5 generations
+      });
+  EXPECT_EQ(generations_seen, 5u);
+}
+
+TEST(De, DeterministicGivenSeed) {
+  Box box = Box::unitCube(3);
+  DeOptions opts;
+  opts.max_generations = 20;
+  Rng rng_a(7), rng_b(7);
+  OptResult a = deMinimize(rastrigin, box, rng_a, opts);
+  OptResult b = deMinimize(rastrigin, box, rng_b, opts);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+  EXPECT_LT(mfbo::linalg::maxAbsDiff(a.x, b.x), 1e-15);
+}
+
+// -------------------------------------------------------------- Multistart --
+
+TEST(Multistart, FindsGlobalAmongLocalMinima) {
+  // f has local minimum near x=2 (value ~1) and global near x=-2 (value 0).
+  ScalarObjective f = [](const Vector& v) {
+    const double x = v[0];
+    const double a = (x - 2.0) * (x - 2.0) + 1.0;
+    const double b = (x + 2.0) * (x + 2.0);
+    return std::min(a, b);
+  };
+  Box box(Vector{-4.0}, Vector{4.0});
+  Rng rng(55);
+  auto starts = mfbo::linalg::latinHypercube(10, box, rng);
+  OptResult r = multistartMinimize(f, starts, box);
+  EXPECT_NEAR(r.x[0], -2.0, 1e-3);
+  EXPECT_NEAR(r.value, 0.0, 1e-6);
+}
+
+TEST(Multistart, ThrowsOnEmptyStarts) {
+  Box box = Box::unitCube(1);
+  EXPECT_THROW(multistartMinimize(sphere, {}, box), std::invalid_argument);
+}
+
+TEST(Multistart, ComposeStartsCountsAndPlacement) {
+  Box box = Box::unitCube(2);
+  Rng rng(66);
+  Vector inc_a{0.1, 0.1};
+  Vector inc_b{0.9, 0.9};
+  auto starts = composeStarts(5, {inc_a, inc_b}, {3, 4}, 0.02, box, rng);
+  ASSERT_EQ(starts.size(), 12u);
+  // The scattered starts must be near their incumbents.
+  for (std::size_t i = 5; i < 8; ++i)
+    EXPECT_LT((starts[i] - inc_a).norm(), 0.2);
+  for (std::size_t i = 8; i < 12; ++i)
+    EXPECT_LT((starts[i] - inc_b).norm(), 0.2);
+  for (const auto& s : starts) EXPECT_TRUE(box.contains(s));
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// Tests for the benchmark problems: the synthetic suite and the two
+// circuit testbenches (power amplifier §5.1, charge pump §5.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/rng.h"
+#include "problems/charge_pump.h"
+#include "problems/power_amplifier.h"
+#include "problems/synthetic.h"
+
+namespace {
+
+using namespace mfbo::problems;
+using mfbo::bo::Evaluation;
+using mfbo::bo::Fidelity;
+using mfbo::bo::Vector;
+
+// ---------------------------------------------------------------- synthetic --
+
+TEST(SyntheticProblems, ForresterKnownOptimum) {
+  // f_h minimum ≈ −6.0207 at x* ≈ 0.75725.
+  EXPECT_NEAR(forresterHigh(0.75725), -6.0207, 1e-3);
+  // Linear low-high relation: correlation of the pair is exact by
+  // construction: f_l = 0.5 f_h + 10x − 10.
+  for (double x : {0.1, 0.4, 0.9}) {
+    EXPECT_NEAR(forresterLow(x),
+                0.5 * forresterHigh(x) + 10.0 * (x - 0.5) - 5.0, 1e-12);
+  }
+}
+
+TEST(SyntheticProblems, BraninKnownMinima) {
+  // Branin's three global minima, all with value ≈ 0.397887.
+  EXPECT_NEAR(braninHigh(Vector{-M_PI, 12.275}), 0.397887, 1e-5);
+  EXPECT_NEAR(braninHigh(Vector{M_PI, 2.275}), 0.397887, 1e-5);
+  EXPECT_NEAR(braninHigh(Vector{9.42478, 2.475}), 0.397887, 1e-5);
+}
+
+TEST(SyntheticProblems, PedagogicalShape) {
+  // The low function is ±1-bounded; the high one is ≤ 0 on the domain.
+  for (double x = -0.5; x <= 0.5; x += 0.01) {
+    EXPECT_LE(std::abs(pedagogicalLow(x)), 1.0 + 1e-12);
+    EXPECT_LE(pedagogicalHigh(x), 1e-12);
+  }
+}
+
+TEST(SyntheticProblems, ConstrainedQuadraticOptimum) {
+  ConstrainedQuadraticProblem p(4);
+  // The analytic optimum: x_i = 0.75 − 0.5/4, on the constraint boundary.
+  Vector x_star(4, 0.75 - 0.5 / 4.0);
+  Evaluation e = p.evaluate(x_star, Fidelity::kHigh);
+  EXPECT_NEAR(e.objective, p.optimalValue(), 1e-12);
+  EXPECT_NEAR(e.constraints[0], 0.0, 1e-12);  // active constraint
+  // Interior point is feasible with a worse bound.
+  Evaluation inner = p.evaluate(Vector(4, 0.5), Fidelity::kHigh);
+  EXPECT_TRUE(inner.feasible());
+  EXPECT_GT(inner.objective, p.optimalValue());
+}
+
+TEST(SyntheticProblems, LambdaProblemAdapts) {
+  LambdaProblem p("adapter", mfbo::bo::Box::unitCube(2), 1, 5.0,
+                  [](const Vector& x, Fidelity f) {
+                    Evaluation e;
+                    e.objective = x[0] + (f == Fidelity::kLow ? 0.1 : 0.0);
+                    e.constraints = {x[1] - 0.5};
+                    return e;
+                  });
+  EXPECT_EQ(p.dim(), 2u);
+  EXPECT_EQ(p.numConstraints(), 1u);
+  EXPECT_DOUBLE_EQ(p.costRatio(), 5.0);
+  EXPECT_NEAR(p.evaluate(Vector{0.3, 0.2}, Fidelity::kLow).objective, 0.4,
+              1e-12);
+  EXPECT_TRUE(p.evaluate(Vector{0.3, 0.2}, Fidelity::kHigh).feasible());
+}
+
+TEST(SyntheticProblems, EvaluationHelpers) {
+  Evaluation feasible{1.0, {-0.5, -0.1}};
+  EXPECT_TRUE(feasible.feasible());
+  EXPECT_DOUBLE_EQ(feasible.totalViolation(), 0.0);
+  Evaluation violated{1.0, {0.5, -0.1, 2.0}};
+  EXPECT_FALSE(violated.feasible());
+  EXPECT_DOUBLE_EQ(violated.totalViolation(), 2.5);
+}
+
+// ----------------------------------------------------------- power amplifier --
+
+class PowerAmplifierTest : public ::testing::Test {
+ protected:
+  PowerAmplifierProblem pa;
+  // A known-good design from the feasibility sweep.
+  Vector good{6e-12, 2.3e-12, 4e-3, 2.0, 0.7};
+};
+
+TEST_F(PowerAmplifierTest, MetadataIsConsistent) {
+  EXPECT_EQ(pa.dim(), 5u);
+  EXPECT_EQ(pa.numConstraints(), 2u);
+  EXPECT_DOUBLE_EQ(pa.costRatio(), 20.0);
+  EXPECT_EQ(pa.bounds().dim(), 5u);
+  EXPECT_TRUE(pa.bounds().contains(good));
+}
+
+TEST_F(PowerAmplifierTest, GoodDesignIsFeasibleAndEfficient) {
+  const Evaluation e = pa.evaluate(good, Fidelity::kHigh);
+  EXPECT_TRUE(e.feasible());
+  EXPECT_LT(e.objective, -80.0);  // efficiency above 80%
+}
+
+TEST_F(PowerAmplifierTest, PerformanceNumbersAreSane) {
+  const PaPerformance perf = pa.simulate(good, Fidelity::kHigh);
+  ASSERT_TRUE(perf.valid);
+  EXPECT_GT(perf.eff, 50.0);
+  EXPECT_LT(perf.eff, 100.0);
+  EXPECT_GT(perf.pout_dbm, 20.0);
+  EXPECT_LT(perf.pout_dbm, 30.0);
+  EXPECT_GT(perf.thd_db, -10.0);
+  EXPECT_LT(perf.thd_db, 30.0);
+}
+
+TEST_F(PowerAmplifierTest, LowFidelityIsCorrelatedButBiased) {
+  // Across a Vb sweep, low and high fidelity efficiencies must track each
+  // other (positive correlation) without being identical (the fusion model
+  // would be pointless otherwise).
+  std::vector<double> lo, hi;
+  for (double vb : {0.35, 0.45, 0.55, 0.65, 0.75, 0.85}) {
+    Vector x{6e-12, 2.3e-12, 4e-3, 1.8, vb};
+    lo.push_back(pa.simulate(x, Fidelity::kLow).eff);
+    hi.push_back(pa.simulate(x, Fidelity::kHigh).eff);
+  }
+  double mean_lo = 0, mean_hi = 0;
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    mean_lo += lo[i];
+    mean_hi += hi[i];
+  }
+  mean_lo /= static_cast<double>(lo.size());
+  mean_hi /= static_cast<double>(hi.size());
+  double cov = 0, var_l = 0, var_h = 0, max_gap = 0;
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    cov += (lo[i] - mean_lo) * (hi[i] - mean_hi);
+    var_l += (lo[i] - mean_lo) * (lo[i] - mean_lo);
+    var_h += (hi[i] - mean_hi) * (hi[i] - mean_hi);
+    max_gap = std::max(max_gap, std::abs(lo[i] - hi[i]));
+  }
+  const double corr = cov / std::sqrt(var_l * var_h);
+  EXPECT_GT(corr, 0.6);     // strongly correlated…
+  EXPECT_GT(max_gap, 0.5);  // …but systematically different
+}
+
+TEST_F(PowerAmplifierTest, DeterministicEvaluation) {
+  const Evaluation a = pa.evaluate(good, Fidelity::kHigh);
+  const Evaluation b = pa.evaluate(good, Fidelity::kHigh);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.constraints, b.constraints);
+}
+
+TEST_F(PowerAmplifierTest, BadMatchViolatesPout) {
+  // Tiny caps: the match is broken, Pout collapses.
+  Vector bad{0.2e-12, 0.2e-12, 1e-3, 1.2, 0.4};
+  const Evaluation e = pa.evaluate(bad, Fidelity::kHigh);
+  EXPECT_GT(e.constraints[0], 0.0);  // Pout spec violated
+}
+
+// --------------------------------------------------------------- charge pump --
+
+class ChargePumpTest : public ::testing::Test {
+ protected:
+  ChargePumpProblem cp;
+};
+
+TEST_F(ChargePumpTest, MetadataIsConsistent) {
+  EXPECT_EQ(cp.dim(), 36u);
+  EXPECT_EQ(cp.numConstraints(), 5u);
+  EXPECT_DOUBLE_EQ(cp.costRatio(), 27.0);
+  EXPECT_TRUE(cp.bounds().contains(cp.referenceDesign()));
+}
+
+TEST_F(ChargePumpTest, ReferenceDesignIsFeasible) {
+  const Evaluation e = cp.evaluate(cp.referenceDesign(), Fidelity::kHigh);
+  EXPECT_TRUE(e.feasible()) << "violation = " << e.totalViolation();
+  // FOM in the single-digit µA regime, like the paper's Table 2.
+  EXPECT_GT(e.objective, 0.0);
+  EXPECT_LT(e.objective, 10.0);
+}
+
+TEST_F(ChargePumpTest, HighFidelityCoversCornersLowDoesNot) {
+  const CpPerformance lo = cp.simulate(cp.referenceDesign(), Fidelity::kLow);
+  const CpPerformance hi = cp.simulate(cp.referenceDesign(), Fidelity::kHigh);
+  ASSERT_TRUE(lo.valid);
+  ASSERT_TRUE(hi.valid);
+  // Corner spread can only grow the max-based metrics.
+  EXPECT_GE(hi.max_diff1 + 1e-12, lo.max_diff1);
+  EXPECT_GE(hi.max_diff2 + 1e-12, lo.max_diff2);
+  EXPECT_GE(hi.deviation + 1e-12, lo.deviation);
+  EXPECT_GT(hi.fom, lo.fom);  // corners strictly bite at the reference
+}
+
+TEST_F(ChargePumpTest, FomMatchesDefinition) {
+  const CpPerformance p = cp.simulate(cp.referenceDesign(), Fidelity::kLow);
+  ASSERT_TRUE(p.valid);
+  EXPECT_NEAR(p.fom,
+              0.3 * (p.max_diff1 + p.max_diff2 + p.max_diff3 + p.max_diff4) +
+                  0.5 * p.deviation,
+              1e-12);
+}
+
+TEST_F(ChargePumpTest, MirrorRatioControlsCurrent) {
+  // Shrinking the M1/M2 widths must reduce the average currents, pushing
+  // the deviation metric up — the basic sizing physics the optimizer uses.
+  Vector x = cp.referenceDesign();
+  const CpPerformance base = cp.simulate(x, Fidelity::kLow);
+  x[2] *= 0.5;   // M2 width (NMOS mirror slave)
+  x[12] *= 0.5;  // M1 width (PMOS mirror slave)
+  const CpPerformance shrunk = cp.simulate(x, Fidelity::kLow);
+  ASSERT_TRUE(base.valid);
+  ASSERT_TRUE(shrunk.valid);
+  EXPECT_GT(shrunk.deviation, base.deviation + 5.0);
+}
+
+TEST_F(ChargePumpTest, RandomDesignsEvaluateWithoutCrashing) {
+  mfbo::linalg::Rng rng(99);
+  const auto box = cp.bounds();
+  for (int i = 0; i < 5; ++i) {
+    const Vector x = box.fromUnit(rng.uniformVector(36));
+    const Evaluation e = cp.evaluate(x, Fidelity::kLow);
+    EXPECT_TRUE(std::isfinite(e.objective));
+    for (double c : e.constraints) EXPECT_TRUE(std::isfinite(c));
+  }
+}
+
+TEST_F(ChargePumpTest, DeterministicEvaluation) {
+  const Evaluation a = cp.evaluate(cp.referenceDesign(), Fidelity::kLow);
+  const Evaluation b = cp.evaluate(cp.referenceDesign(), Fidelity::kLow);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.constraints, b.constraints);
+}
+
+}  // namespace
