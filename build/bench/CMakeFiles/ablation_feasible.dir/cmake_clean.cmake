@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feasible.dir/ablation_feasible.cpp.o"
+  "CMakeFiles/ablation_feasible.dir/ablation_feasible.cpp.o.d"
+  "ablation_feasible"
+  "ablation_feasible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feasible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

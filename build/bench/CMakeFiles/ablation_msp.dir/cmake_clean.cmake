@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_msp.dir/ablation_msp.cpp.o"
+  "CMakeFiles/ablation_msp.dir/ablation_msp.cpp.o.d"
+  "ablation_msp"
+  "ablation_msp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_msp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extension_multilevel.cpp" "bench/CMakeFiles/extension_multilevel.dir/extension_multilevel.cpp.o" "gcc" "bench/CMakeFiles/extension_multilevel.dir/extension_multilevel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mf/CMakeFiles/mfbo_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/mfbo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mfbo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mfbo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_multilevel.dir/extension_multilevel.cpp.o"
+  "CMakeFiles/extension_multilevel.dir/extension_multilevel.cpp.o.d"
+  "extension_multilevel"
+  "extension_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_pedagogical.dir/fig1_pedagogical.cpp.o"
+  "CMakeFiles/fig1_pedagogical.dir/fig1_pedagogical.cpp.o.d"
+  "fig1_pedagogical"
+  "fig1_pedagogical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pedagogical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

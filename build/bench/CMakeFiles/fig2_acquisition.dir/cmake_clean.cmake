@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_acquisition.dir/fig2_acquisition.cpp.o"
+  "CMakeFiles/fig2_acquisition.dir/fig2_acquisition.cpp.o.d"
+  "fig2_acquisition"
+  "fig2_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_correlation.dir/fig3_correlation.cpp.o"
+  "CMakeFiles/fig3_correlation.dir/fig3_correlation.cpp.o.d"
+  "fig3_correlation"
+  "fig3_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

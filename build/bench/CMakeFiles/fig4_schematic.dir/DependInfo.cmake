@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_schematic.cpp" "bench/CMakeFiles/fig4_schematic.dir/fig4_schematic.cpp.o" "gcc" "bench/CMakeFiles/fig4_schematic.dir/fig4_schematic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/problems/CMakeFiles/mfbo_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/mfbo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/mfbo_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mf/CMakeFiles/mfbo_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/mfbo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mfbo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mfbo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_circuit.dir/micro_circuit.cpp.o"
+  "CMakeFiles/micro_circuit.dir/micro_circuit.cpp.o.d"
+  "micro_circuit"
+  "micro_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_power_amplifier.dir/table1_power_amplifier.cpp.o"
+  "CMakeFiles/table1_power_amplifier.dir/table1_power_amplifier.cpp.o.d"
+  "table1_power_amplifier"
+  "table1_power_amplifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_power_amplifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

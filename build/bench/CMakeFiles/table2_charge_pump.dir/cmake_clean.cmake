@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_charge_pump.dir/table2_charge_pump.cpp.o"
+  "CMakeFiles/table2_charge_pump.dir/table2_charge_pump.cpp.o.d"
+  "table2_charge_pump"
+  "table2_charge_pump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_charge_pump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

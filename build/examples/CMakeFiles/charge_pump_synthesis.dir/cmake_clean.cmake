@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charge_pump_synthesis.dir/charge_pump_synthesis.cpp.o"
+  "CMakeFiles/charge_pump_synthesis.dir/charge_pump_synthesis.cpp.o.d"
+  "charge_pump_synthesis"
+  "charge_pump_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charge_pump_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opamp_synthesis.dir/opamp_synthesis.cpp.o"
+  "CMakeFiles/opamp_synthesis.dir/opamp_synthesis.cpp.o.d"
+  "opamp_synthesis"
+  "opamp_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opamp_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

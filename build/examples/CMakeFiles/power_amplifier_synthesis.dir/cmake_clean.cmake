@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_amplifier_synthesis.dir/power_amplifier_synthesis.cpp.o"
+  "CMakeFiles/power_amplifier_synthesis.dir/power_amplifier_synthesis.cpp.o.d"
+  "power_amplifier_synthesis"
+  "power_amplifier_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_amplifier_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

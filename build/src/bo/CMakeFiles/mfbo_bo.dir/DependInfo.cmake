@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bo/acquisition.cpp" "src/bo/CMakeFiles/mfbo_bo.dir/acquisition.cpp.o" "gcc" "src/bo/CMakeFiles/mfbo_bo.dir/acquisition.cpp.o.d"
+  "/root/repo/src/bo/common.cpp" "src/bo/CMakeFiles/mfbo_bo.dir/common.cpp.o" "gcc" "src/bo/CMakeFiles/mfbo_bo.dir/common.cpp.o.d"
+  "/root/repo/src/bo/de_baseline.cpp" "src/bo/CMakeFiles/mfbo_bo.dir/de_baseline.cpp.o" "gcc" "src/bo/CMakeFiles/mfbo_bo.dir/de_baseline.cpp.o.d"
+  "/root/repo/src/bo/gaspad.cpp" "src/bo/CMakeFiles/mfbo_bo.dir/gaspad.cpp.o" "gcc" "src/bo/CMakeFiles/mfbo_bo.dir/gaspad.cpp.o.d"
+  "/root/repo/src/bo/mfbo.cpp" "src/bo/CMakeFiles/mfbo_bo.dir/mfbo.cpp.o" "gcc" "src/bo/CMakeFiles/mfbo_bo.dir/mfbo.cpp.o.d"
+  "/root/repo/src/bo/weibo.cpp" "src/bo/CMakeFiles/mfbo_bo.dir/weibo.cpp.o" "gcc" "src/bo/CMakeFiles/mfbo_bo.dir/weibo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mf/CMakeFiles/mfbo_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/mfbo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mfbo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mfbo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

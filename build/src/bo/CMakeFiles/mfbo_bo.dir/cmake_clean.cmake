@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfbo_bo.dir/acquisition.cpp.o"
+  "CMakeFiles/mfbo_bo.dir/acquisition.cpp.o.d"
+  "CMakeFiles/mfbo_bo.dir/common.cpp.o"
+  "CMakeFiles/mfbo_bo.dir/common.cpp.o.d"
+  "CMakeFiles/mfbo_bo.dir/de_baseline.cpp.o"
+  "CMakeFiles/mfbo_bo.dir/de_baseline.cpp.o.d"
+  "CMakeFiles/mfbo_bo.dir/gaspad.cpp.o"
+  "CMakeFiles/mfbo_bo.dir/gaspad.cpp.o.d"
+  "CMakeFiles/mfbo_bo.dir/mfbo.cpp.o"
+  "CMakeFiles/mfbo_bo.dir/mfbo.cpp.o.d"
+  "CMakeFiles/mfbo_bo.dir/weibo.cpp.o"
+  "CMakeFiles/mfbo_bo.dir/weibo.cpp.o.d"
+  "libmfbo_bo.a"
+  "libmfbo_bo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfbo_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ac.cpp" "src/circuit/CMakeFiles/mfbo_circuit.dir/ac.cpp.o" "gcc" "src/circuit/CMakeFiles/mfbo_circuit.dir/ac.cpp.o.d"
+  "/root/repo/src/circuit/devices.cpp" "src/circuit/CMakeFiles/mfbo_circuit.dir/devices.cpp.o" "gcc" "src/circuit/CMakeFiles/mfbo_circuit.dir/devices.cpp.o.d"
+  "/root/repo/src/circuit/fft.cpp" "src/circuit/CMakeFiles/mfbo_circuit.dir/fft.cpp.o" "gcc" "src/circuit/CMakeFiles/mfbo_circuit.dir/fft.cpp.o.d"
+  "/root/repo/src/circuit/linearize.cpp" "src/circuit/CMakeFiles/mfbo_circuit.dir/linearize.cpp.o" "gcc" "src/circuit/CMakeFiles/mfbo_circuit.dir/linearize.cpp.o.d"
+  "/root/repo/src/circuit/measure.cpp" "src/circuit/CMakeFiles/mfbo_circuit.dir/measure.cpp.o" "gcc" "src/circuit/CMakeFiles/mfbo_circuit.dir/measure.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/mfbo_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/mfbo_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/parser.cpp" "src/circuit/CMakeFiles/mfbo_circuit.dir/parser.cpp.o" "gcc" "src/circuit/CMakeFiles/mfbo_circuit.dir/parser.cpp.o.d"
+  "/root/repo/src/circuit/pvt.cpp" "src/circuit/CMakeFiles/mfbo_circuit.dir/pvt.cpp.o" "gcc" "src/circuit/CMakeFiles/mfbo_circuit.dir/pvt.cpp.o.d"
+  "/root/repo/src/circuit/simulator.cpp" "src/circuit/CMakeFiles/mfbo_circuit.dir/simulator.cpp.o" "gcc" "src/circuit/CMakeFiles/mfbo_circuit.dir/simulator.cpp.o.d"
+  "/root/repo/src/circuit/waveform.cpp" "src/circuit/CMakeFiles/mfbo_circuit.dir/waveform.cpp.o" "gcc" "src/circuit/CMakeFiles/mfbo_circuit.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/mfbo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

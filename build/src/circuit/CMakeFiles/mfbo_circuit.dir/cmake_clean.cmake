@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfbo_circuit.dir/ac.cpp.o"
+  "CMakeFiles/mfbo_circuit.dir/ac.cpp.o.d"
+  "CMakeFiles/mfbo_circuit.dir/devices.cpp.o"
+  "CMakeFiles/mfbo_circuit.dir/devices.cpp.o.d"
+  "CMakeFiles/mfbo_circuit.dir/fft.cpp.o"
+  "CMakeFiles/mfbo_circuit.dir/fft.cpp.o.d"
+  "CMakeFiles/mfbo_circuit.dir/linearize.cpp.o"
+  "CMakeFiles/mfbo_circuit.dir/linearize.cpp.o.d"
+  "CMakeFiles/mfbo_circuit.dir/measure.cpp.o"
+  "CMakeFiles/mfbo_circuit.dir/measure.cpp.o.d"
+  "CMakeFiles/mfbo_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/mfbo_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/mfbo_circuit.dir/parser.cpp.o"
+  "CMakeFiles/mfbo_circuit.dir/parser.cpp.o.d"
+  "CMakeFiles/mfbo_circuit.dir/pvt.cpp.o"
+  "CMakeFiles/mfbo_circuit.dir/pvt.cpp.o.d"
+  "CMakeFiles/mfbo_circuit.dir/simulator.cpp.o"
+  "CMakeFiles/mfbo_circuit.dir/simulator.cpp.o.d"
+  "CMakeFiles/mfbo_circuit.dir/waveform.cpp.o"
+  "CMakeFiles/mfbo_circuit.dir/waveform.cpp.o.d"
+  "libmfbo_circuit.a"
+  "libmfbo_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfbo_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfbo_gp.dir/gp_regressor.cpp.o"
+  "CMakeFiles/mfbo_gp.dir/gp_regressor.cpp.o.d"
+  "CMakeFiles/mfbo_gp.dir/kernel.cpp.o"
+  "CMakeFiles/mfbo_gp.dir/kernel.cpp.o.d"
+  "libmfbo_gp.a"
+  "libmfbo_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfbo_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfbo_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/mfbo_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/mfbo_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/mfbo_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/mfbo_linalg.dir/rng.cpp.o"
+  "CMakeFiles/mfbo_linalg.dir/rng.cpp.o.d"
+  "CMakeFiles/mfbo_linalg.dir/sampling.cpp.o"
+  "CMakeFiles/mfbo_linalg.dir/sampling.cpp.o.d"
+  "CMakeFiles/mfbo_linalg.dir/stats.cpp.o"
+  "CMakeFiles/mfbo_linalg.dir/stats.cpp.o.d"
+  "CMakeFiles/mfbo_linalg.dir/vector.cpp.o"
+  "CMakeFiles/mfbo_linalg.dir/vector.cpp.o.d"
+  "libmfbo_linalg.a"
+  "libmfbo_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfbo_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

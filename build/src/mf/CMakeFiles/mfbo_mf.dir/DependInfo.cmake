@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mf/ar1.cpp" "src/mf/CMakeFiles/mfbo_mf.dir/ar1.cpp.o" "gcc" "src/mf/CMakeFiles/mfbo_mf.dir/ar1.cpp.o.d"
+  "/root/repo/src/mf/multilevel.cpp" "src/mf/CMakeFiles/mfbo_mf.dir/multilevel.cpp.o" "gcc" "src/mf/CMakeFiles/mfbo_mf.dir/multilevel.cpp.o.d"
+  "/root/repo/src/mf/nargp.cpp" "src/mf/CMakeFiles/mfbo_mf.dir/nargp.cpp.o" "gcc" "src/mf/CMakeFiles/mfbo_mf.dir/nargp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gp/CMakeFiles/mfbo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mfbo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mfbo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

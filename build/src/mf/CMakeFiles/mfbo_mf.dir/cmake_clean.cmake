@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfbo_mf.dir/ar1.cpp.o"
+  "CMakeFiles/mfbo_mf.dir/ar1.cpp.o.d"
+  "CMakeFiles/mfbo_mf.dir/multilevel.cpp.o"
+  "CMakeFiles/mfbo_mf.dir/multilevel.cpp.o.d"
+  "CMakeFiles/mfbo_mf.dir/nargp.cpp.o"
+  "CMakeFiles/mfbo_mf.dir/nargp.cpp.o.d"
+  "libmfbo_mf.a"
+  "libmfbo_mf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfbo_mf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

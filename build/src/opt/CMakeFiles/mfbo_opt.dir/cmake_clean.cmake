@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfbo_opt.dir/de.cpp.o"
+  "CMakeFiles/mfbo_opt.dir/de.cpp.o.d"
+  "CMakeFiles/mfbo_opt.dir/lbfgs.cpp.o"
+  "CMakeFiles/mfbo_opt.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/mfbo_opt.dir/multistart.cpp.o"
+  "CMakeFiles/mfbo_opt.dir/multistart.cpp.o.d"
+  "CMakeFiles/mfbo_opt.dir/nelder_mead.cpp.o"
+  "CMakeFiles/mfbo_opt.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/mfbo_opt.dir/objective.cpp.o"
+  "CMakeFiles/mfbo_opt.dir/objective.cpp.o.d"
+  "libmfbo_opt.a"
+  "libmfbo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfbo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

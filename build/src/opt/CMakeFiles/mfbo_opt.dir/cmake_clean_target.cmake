@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmfbo_opt.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfbo_problems.dir/charge_pump.cpp.o"
+  "CMakeFiles/mfbo_problems.dir/charge_pump.cpp.o.d"
+  "CMakeFiles/mfbo_problems.dir/opamp.cpp.o"
+  "CMakeFiles/mfbo_problems.dir/opamp.cpp.o.d"
+  "CMakeFiles/mfbo_problems.dir/power_amplifier.cpp.o"
+  "CMakeFiles/mfbo_problems.dir/power_amplifier.cpp.o.d"
+  "CMakeFiles/mfbo_problems.dir/synthetic.cpp.o"
+  "CMakeFiles/mfbo_problems.dir/synthetic.cpp.o.d"
+  "libmfbo_problems.a"
+  "libmfbo_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfbo_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

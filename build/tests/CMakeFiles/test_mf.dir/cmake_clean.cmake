@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mf.dir/test_mf.cpp.o"
+  "CMakeFiles/test_mf.dir/test_mf.cpp.o.d"
+  "test_mf"
+  "test_mf.pdb"
+  "test_mf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

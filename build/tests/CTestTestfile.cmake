@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_gp[1]_include.cmake")
+include("/root/repo/build/tests/test_mf[1]_include.cmake")
+include("/root/repo/build/tests/test_acquisition[1]_include.cmake")
+include("/root/repo/build/tests/test_bo[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_problems[1]_include.cmake")
+include("/root/repo/build/tests/test_multilevel[1]_include.cmake")
+include("/root/repo/build/tests/test_ac[1]_include.cmake")
+include("/root/repo/build/tests/test_opamp[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_controlled[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
