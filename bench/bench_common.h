@@ -66,11 +66,11 @@ inline double costToReachBest(const bo::SynthesisResult& r) {
 /// Aggregated rows of one algorithm column in a results table.
 struct AlgoStats {
   std::string name;
-  std::vector<double> objectives;    // best feasible objective per run
-  std::vector<double> reach_costs;   // cost to reach it per run
+  std::vector<double> objectives{};    // best feasible objective per run
+  std::vector<double> reach_costs{};   // cost to reach it per run
   std::size_t successes = 0;         // runs that found a feasible design
   std::size_t total_runs = 0;
-  bo::SynthesisResult median_result; // the run with the median objective
+  bo::SynthesisResult median_result{}; // the run with the median objective
 
   void add(const bo::SynthesisResult& r) {
     ++total_runs;

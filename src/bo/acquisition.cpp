@@ -3,18 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "linalg/stats.h"
 
 namespace mfbo::bo {
 
 double expectedImprovement(const Prediction& p, double tau) {
+  MFBO_DCHECK(std::isfinite(p.mean) && std::isfinite(p.var),
+              "non-finite prediction: mean=", p.mean, " var=", p.var);
+  MFBO_DCHECK(std::isfinite(tau), "non-finite incumbent tau=", tau);
   const double sd = p.sd();
   if (sd < 1e-12) return std::max(0.0, tau - p.mean);
   const double lambda = (tau - p.mean) / sd;
-  return sd * (lambda * linalg::normalCdf(lambda) + linalg::normalPdf(lambda));
+  // EI is a product of finite factors; guard the composite value so a bad
+  // surrogate surfaces here instead of silently steering the MSP search.
+  return MFBO_CHECK_FINITE(
+      sd * (lambda * linalg::normalCdf(lambda) + linalg::normalPdf(lambda)),
+      "EI(mean=", p.mean, ", sd=", sd, ", tau=", tau, ")");
 }
 
 double probabilityOfFeasibility(const Prediction& p) {
+  MFBO_DCHECK(std::isfinite(p.mean) && std::isfinite(p.var),
+              "non-finite prediction: mean=", p.mean, " var=", p.var);
   const double sd = p.sd();
   if (sd < 1e-12) return p.mean < 0.0 ? 1.0 : 0.0;
   return linalg::normalCdf(-p.mean / sd);

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace mfbo::bo {
 
@@ -17,7 +18,7 @@ std::optional<std::size_t> Dataset::bestFeasible() const {
 }
 
 std::size_t Dataset::bestByMerit() const {
-  if (evals.empty()) throw std::logic_error("Dataset::bestByMerit: empty");
+  MFBO_CHECK(!evals.empty(), "empty dataset");
   if (const auto feasible = bestFeasible()) return *feasible;
   std::size_t best = 0;
   for (std::size_t i = 1; i < evals.size(); ++i)
@@ -34,8 +35,9 @@ std::vector<double> Dataset::objectives() const {
 std::vector<double> Dataset::constraintColumn(std::size_t i) const {
   std::vector<double> out(evals.size());
   for (std::size_t k = 0; k < evals.size(); ++k) {
-    if (i >= evals[k].constraints.size())
-      throw std::out_of_range("Dataset::constraintColumn");
+    MFBO_CHECK(i < evals[k].constraints.size(), "constraint ", i,
+               " out of range: evaluation ", k, " has ",
+               evals[k].constraints.size(), " constraints");
     out[k] = evals[k].constraints[i];
   }
   return out;

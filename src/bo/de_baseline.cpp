@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace mfbo::bo {
 
 namespace {
@@ -18,6 +20,7 @@ bool dominatesByDeb(const Evaluation& a, const Evaluation& b) {
 
 SynthesisResult DeBaseline::run(Problem& problem, std::uint64_t seed) const {
   const std::size_t d = problem.dim();
+  MFBO_CHECK(d > 0, "problem has zero dimensions");
   const Box box = problem.bounds();
   Rng rng(seed);
 

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "bo/acquisition.h"
+#include "common/check.h"
 
 namespace mfbo::bo {
 
@@ -31,6 +32,7 @@ std::vector<std::size_t> meritOrder(const Dataset& data) {
 
 SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
   const std::size_t d = problem.dim();
+  MFBO_CHECK(d > 0, "problem has zero dimensions");
   const std::size_t nc = problem.numConstraints();
   const Box real_box = problem.bounds();
   const Box unit = Box::unitCube(d);

@@ -3,15 +3,26 @@
 #include <cmath>
 
 #include "bo/acquisition.h"
+#include "common/check.h"
 
 namespace mfbo::bo {
 
 SynthesisResult MfboSynthesizer::run(Problem& problem,
                                      std::uint64_t seed) const {
   const std::size_t d = problem.dim();
+  MFBO_CHECK(d > 0, "problem has zero dimensions");
+  MFBO_CHECK(options_.n_init_low > 0 && options_.n_init_high > 0,
+             "initial designs must be non-empty, got ", options_.n_init_low,
+             " low / ", options_.n_init_high, " high");
+  MFBO_CHECK(problem.costRatio() > 0.0, "cost ratio must be positive, got ",
+             problem.costRatio());
+  MFBO_CHECK(options_.gamma >= 0.0, "gamma must be non-negative, got ",
+             options_.gamma);
   const std::size_t nc = problem.numConstraints();
   const std::size_t n_out = 1 + nc;
   const Box real_box = problem.bounds();
+  MFBO_CHECK(real_box.dim() == d, "problem bounds dim ", real_box.dim(),
+             " does not match problem dim ", d);
   const Box unit = Box::unitCube(d);
   const double ratio = problem.costRatio();
   Rng rng(seed);

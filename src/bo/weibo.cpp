@@ -3,11 +3,13 @@
 #include <memory>
 
 #include "bo/acquisition.h"
+#include "common/check.h"
 
 namespace mfbo::bo {
 
 SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
   const std::size_t d = problem.dim();
+  MFBO_CHECK(d > 0, "problem has zero dimensions");
   const std::size_t nc = problem.numConstraints();
   const Box real_box = problem.bounds();
   const Box unit = Box::unitCube(d);

@@ -1,0 +1,29 @@
+#include "common/check.h"
+
+namespace mfbo {
+
+namespace {
+
+std::string buildMessage(const char* file, long line, const char* expr,
+                         const std::string& detail) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!detail.empty()) os << ": " << detail;
+  return std::move(os).str();
+}
+
+}  // namespace
+
+ContractViolation::ContractViolation(const char* file, long line,
+                                     std::string message)
+    : std::logic_error(std::move(message)), file_(file), line_(line) {}
+
+namespace check_detail {
+
+void throwViolation(const char* file, long line, const char* expr,
+                    const std::string& detail) {
+  throw ContractViolation(file, line, buildMessage(file, line, expr, detail));
+}
+
+}  // namespace check_detail
+}  // namespace mfbo

@@ -1,0 +1,121 @@
+// mfbo::common — contract-checking macros for the whole library.
+//
+// Bare `assert` disappears under NDEBUG, which is exactly when the BO loop's
+// fragile numerics (near-singular Gram matrices, NLML gradients, MC-composite
+// kernels) need guard rails the most. These macros throw a typed exception
+// instead, so violations surface in every build type and are testable.
+//
+//   MFBO_CHECK(cond, msg...)        always-on precondition / invariant check
+//   MFBO_DCHECK(cond, msg...)       hot-path check; compiled out in release
+//                                   unless MFBO_ENABLE_DCHECKS is defined
+//   MFBO_CHECK_FINITE(value, msg...)  always-on finiteness check on a double
+//                                   expression; returns the value, so it can
+//                                   wrap an intermediate in an expression
+//
+// The optional message arguments are streamed into the exception text, e.g.
+//   MFBO_CHECK(r < rows_, "row ", r, " out of range [0,", rows_, ")");
+#pragma once
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mfbo {
+
+/// Thrown by MFBO_CHECK / MFBO_DCHECK / MFBO_CHECK_FINITE on a violated
+/// contract: a dimension mismatch, an empty-dataset precondition, an
+/// out-of-range index, or a non-finite value where a finite one is required.
+/// Derives from std::logic_error: a contract violation is a caller bug, in
+/// contrast to the std::runtime_error used for legitimate numerical failures
+/// (singular LU pivot, covariance not positive definite even with jitter).
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* file, long line, std::string message);
+
+  /// Source file of the failed check (as given by __FILE__).
+  const char* file() const { return file_; }
+  /// Source line of the failed check.
+  long line() const { return line_; }
+
+ private:
+  const char* file_;
+  long line_;
+};
+
+namespace check_detail {
+
+/// Build "file:line: check failed: <expr>[: <detail>]" and throw.
+/// Out-of-line so the fast path of every check site stays a compare+branch.
+[[noreturn]] void throwViolation(const char* file, long line, const char* expr,
+                                 const std::string& detail);
+
+/// Stream the optional message arguments of a check into one string.
+template <typename... Args>
+std::string formatMessage(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return std::move(os).str();
+  }
+}
+
+template <typename... Args>
+[[noreturn]] inline void failCheck(const char* file, long line,
+                                   const char* expr, const Args&... args) {
+  throwViolation(file, line, expr, formatMessage(args...));
+}
+
+template <typename... Args>
+inline double checkFinite(double value, const char* expr, const char* file,
+                          long line, const Args&... args) {
+  if (!std::isfinite(value)) [[unlikely]] {
+    std::ostringstream os;
+    os << "value is " << value;
+    if constexpr (sizeof...(Args) > 0) {
+      os << ": ";
+      (os << ... << args);
+    }
+    throwViolation(file, line, expr, std::move(os).str());
+  }
+  return value;
+}
+
+}  // namespace check_detail
+}  // namespace mfbo
+
+/// Always-on contract check. Throws mfbo::ContractViolation when @p cond is
+/// false; extra arguments are streamed into the exception message.
+#define MFBO_CHECK(cond, ...)                                              \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::mfbo::check_detail::failCheck(__FILE__, __LINE__,                  \
+                                      #cond __VA_OPT__(, ) __VA_ARGS__);   \
+    }                                                                      \
+  } while (false)
+
+/// Always-on finiteness check on a double-valued expression. Evaluates the
+/// expression exactly once and yields its value, so intermediates can be
+/// checked in-line: `const double nlml = MFBO_CHECK_FINITE(0.5 * ...);`.
+#define MFBO_CHECK_FINITE(value, ...)                                      \
+  ::mfbo::check_detail::checkFinite((value), #value, __FILE__,             \
+                                    __LINE__ __VA_OPT__(, ) __VA_ARGS__)
+
+// Debug/hardened-build check for hot paths (per-element accessors, inner
+// kernel loops). Active when NDEBUG is off (plain Debug builds) or when
+// MFBO_ENABLE_DCHECKS is defined (the asan-ubsan preset turns it on so the
+// sanitizer CI leg also runs every contract). In release it compiles to
+// nothing but still type-checks its arguments.
+#if !defined(NDEBUG) || defined(MFBO_ENABLE_DCHECKS)
+#define MFBO_DCHECK(cond, ...) MFBO_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define MFBO_DCHECK(cond, ...)                   \
+  do {                                           \
+    if (false) {                                 \
+      MFBO_CHECK(cond __VA_OPT__(, ) __VA_ARGS__); \
+    }                                            \
+  } while (false)
+#endif

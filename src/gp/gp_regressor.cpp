@@ -5,14 +5,16 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace mfbo::gp {
 
 double negLogMarginalLikelihood(const Kernel& kernel, double log_sigma_n,
                                 const std::vector<Vector>& x, const Vector& y,
                                 Vector* grad) {
   const std::size_t n = x.size();
-  if (n == 0)
-    throw std::invalid_argument("negLogMarginalLikelihood: empty data");
+  MFBO_CHECK(n > 0, "empty data");
+  MFBO_CHECK(y.size() == n, "y size ", y.size(), " does not match x size ", n);
   const double sn2 = std::exp(2.0 * log_sigma_n);
 
   Matrix k = kernel.gram(x);
@@ -20,9 +22,11 @@ double negLogMarginalLikelihood(const Kernel& kernel, double log_sigma_n,
   const linalg::Cholesky chol = linalg::Cholesky::factorWithJitter(k);
   const Vector alpha = chol.solve(y);
 
-  const double nlml = 0.5 * dot(y, alpha) + 0.5 * chol.logDet() +
-                      0.5 * static_cast<double>(n) *
-                          std::log(2.0 * std::numbers::pi);
+  const double nlml =
+      MFBO_CHECK_FINITE(0.5 * dot(y, alpha) + 0.5 * chol.logDet() +
+                            0.5 * static_cast<double>(n) *
+                                std::log(2.0 * std::numbers::pi),
+                        "NLML is non-finite for n=", n);
 
   if (grad != nullptr) {
     const std::size_t p = kernel.numParams();
@@ -46,7 +50,7 @@ double negLogMarginalLikelihood(const Kernel& kernel, double log_sigma_n,
 
 GpRegressor::GpRegressor(std::unique_ptr<Kernel> kernel, GpConfig config)
     : kernel_(std::move(kernel)), config_(config), rng_(config.seed) {
-  if (!kernel_) throw std::invalid_argument("GpRegressor: null kernel");
+  MFBO_CHECK(kernel_ != nullptr, "null kernel");
 }
 
 GpRegressor::GpRegressor(const GpRegressor& other)
@@ -70,23 +74,19 @@ GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
 }
 
 void GpRegressor::fit(std::vector<Vector> x, std::vector<double> y) {
-  if (x.size() != y.size())
-    throw std::invalid_argument("GpRegressor::fit: size mismatch");
-  if (x.empty()) throw std::invalid_argument("GpRegressor::fit: empty data");
-  for (const Vector& xi : x)
-    if (xi.size() != kernel_->inputDim())
-      throw std::invalid_argument("GpRegressor::fit: input dim mismatch");
+  MFBO_CHECK(x.size() == y.size(), "got ", x.size(), " inputs but ", y.size(),
+             " targets");
+  MFBO_CHECK(!x.empty(), "empty data");
+  validateData(x, y);
   x_ = std::move(x);
   y_raw_ = std::move(y);
   train(/*warm_start=*/false);
 }
 
 void GpRegressor::setData(std::vector<Vector> x, std::vector<double> y) {
-  if (x.size() != y.size() || x.empty())
-    throw std::invalid_argument("GpRegressor::setData: bad data");
-  for (const Vector& xi : x)
-    if (xi.size() != kernel_->inputDim())
-      throw std::invalid_argument("GpRegressor::setData: input dim mismatch");
+  MFBO_CHECK(x.size() == y.size() && !x.empty(), "bad data: ", x.size(),
+             " inputs, ", y.size(), " targets");
+  validateData(x, y);
   x_ = std::move(x);
   y_raw_ = std::move(y);
   standardizer_ = config_.standardize ? linalg::Standardizer(y_raw_)
@@ -96,14 +96,27 @@ void GpRegressor::setData(std::vector<Vector> x, std::vector<double> y) {
 }
 
 void GpRegressor::addPoint(const Vector& x, double y, bool retrain) {
-  if (x.size() != kernel_->inputDim())
-    throw std::invalid_argument("GpRegressor::addPoint: input dim mismatch");
+  MFBO_CHECK(x.size() == kernel_->inputDim(), "input dim ", x.size(),
+             " does not match kernel dim ", kernel_->inputDim());
+  MFBO_CHECK(x.allFinite(), "input has non-finite coordinates");
+  MFBO_CHECK_FINITE(y, "non-finite target");
   x_.push_back(x);
   y_raw_.push_back(y);
   if (retrain) {
     train(/*warm_start=*/true);
   } else {
     rebuildPosterior();
+  }
+}
+
+void GpRegressor::validateData(const std::vector<Vector>& x,
+                               const std::vector<double>& y) const {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    MFBO_CHECK(x[i].size() == kernel_->inputDim(), "input ", i, " has dim ",
+               x[i].size(), ", kernel expects ", kernel_->inputDim());
+    MFBO_CHECK(x[i].allFinite(), "input ", i,
+               " has non-finite coordinates");
+    MFBO_CHECK(std::isfinite(y[i]), "target ", i, " is non-finite: ", y[i]);
   }
 }
 
@@ -127,6 +140,11 @@ void GpRegressor::train(bool warm_start) {
       return negLogMarginalLikelihood(*kernel_, theta[p], x_, y_std_, grad);
     } catch (const std::runtime_error&) {
       // Cholesky failure even with max jitter: poison this region.
+      if (grad) *grad = Vector(p + 1, std::nan(""));
+      return std::nan("");
+    } catch (const ContractViolation&) {
+      // Non-finite NLML at an extreme hyperparameter corner (the training
+      // data itself was validated at fit time): poison it the same way.
       if (grad) *grad = Vector(p + 1, std::nan(""));
       return std::nan("");
     }
@@ -201,8 +219,9 @@ void GpRegressor::rebuildPosterior() {
 }
 
 Prediction GpRegressor::predict(const Vector& x) const {
-  if (!fitted())
-    throw std::logic_error("GpRegressor::predict: model is not fitted");
+  MFBO_CHECK(fitted(), "model is not fitted");
+  MFBO_DCHECK(x.size() == kernel_->inputDim(), "input dim ", x.size(),
+              " does not match kernel dim ", kernel_->inputDim());
   const Vector ks = kernel_->cross(x_, x);
   const double mu_z = dot(ks, alpha_);
   // σ² = σ_n² + k(x,x) − k*ᵀ (K + σ_n² I)⁻¹ k*   (eq. 4)
@@ -214,20 +233,17 @@ Prediction GpRegressor::predict(const Vector& x) const {
 }
 
 double GpRegressor::currentNlml() const {
-  if (!fitted())
-    throw std::logic_error("GpRegressor::currentNlml: model is not fitted");
+  MFBO_CHECK(fitted(), "model is not fitted");
   return negLogMarginalLikelihood(*kernel_, log_sigma_n_, x_, y_std_);
 }
 
 const linalg::Cholesky& GpRegressor::posteriorCholesky() const {
-  if (!chol_)
-    throw std::logic_error("GpRegressor::posteriorCholesky: not fitted");
+  MFBO_CHECK(chol_ != nullptr, "model is not fitted");
   return *chol_;
 }
 
 double GpRegressor::bestObserved() const {
-  if (!fitted())
-    throw std::logic_error("GpRegressor::bestObserved: model is not fitted");
+  MFBO_CHECK(fitted(), "model is not fitted");
   return *std::min_element(y_raw_.begin(), y_raw_.end());
 }
 

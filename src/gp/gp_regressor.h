@@ -102,6 +102,10 @@ class GpRegressor {
   const linalg::Standardizer& standardizer() const { return standardizer_; }
 
  private:
+  /// MFBO_CHECK that every input matches the kernel dimension and that all
+  /// inputs and targets are finite (preconditions for fit/setData).
+  void validateData(const std::vector<Vector>& x,
+                    const std::vector<double>& y) const;
   /// Multi-restart hyperparameter optimization on the current data.
   void train(bool warm_start);
   /// Rebuild standardizer, Gram Cholesky and alpha for current params.

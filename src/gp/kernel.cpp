@@ -1,8 +1,8 @@
 #include "gp/kernel.h"
 
-#include <cassert>
 #include <cmath>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace mfbo::gp {
 
@@ -30,9 +30,10 @@ Vector Kernel::cross(const std::vector<Vector>& x,
 
 SeArdKernel::SeArdKernel(std::size_t dim, double sigma_f, double lengthscale)
     : log_sigma_f_(std::log(sigma_f)), log_l_(dim, std::log(lengthscale)) {
-  if (dim == 0) throw std::invalid_argument("SeArdKernel: dim must be >= 1");
-  if (sigma_f <= 0.0 || lengthscale <= 0.0)
-    throw std::invalid_argument("SeArdKernel: scales must be positive");
+  MFBO_CHECK(dim >= 1, "dim must be >= 1");
+  MFBO_CHECK(sigma_f > 0.0 && lengthscale > 0.0,
+             "scales must be positive, got sigma_f=", sigma_f,
+             " lengthscale=", lengthscale);
 }
 
 Vector SeArdKernel::params() const {
@@ -43,7 +44,8 @@ Vector SeArdKernel::params() const {
 }
 
 void SeArdKernel::setParams(const Vector& p) {
-  assert(p.size() == numParams());
+  MFBO_CHECK(p.size() == numParams(), "got ", p.size(), " params, expected ",
+             numParams());
   log_sigma_f_ = p[0];
   for (std::size_t i = 0; i < log_l_.size(); ++i) log_l_[i] = p[1 + i];
 }
@@ -56,12 +58,15 @@ std::string SeArdKernel::paramName(std::size_t i) const {
 double SeArdKernel::sigmaF() const { return std::exp(log_sigma_f_); }
 
 double SeArdKernel::lengthscale(std::size_t i) const {
-  assert(i < log_l_.size());
+  MFBO_CHECK(i < log_l_.size(), "lengthscale index ", i, " out of range [0,",
+             log_l_.size(), ")");
   return std::exp(log_l_[i]);
 }
 
 double SeArdKernel::eval(const Vector& a, const Vector& b) const {
-  assert(a.size() == inputDim() && b.size() == inputDim());
+  MFBO_DCHECK(a.size() == inputDim() && b.size() == inputDim(),
+              "input dim mismatch: ", a.size(), ", ", b.size(),
+              " vs kernel dim ", inputDim());
   double q = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double diff = a[i] - b[i];
@@ -75,7 +80,11 @@ double SeArdKernel::eval(const Vector& a, const Vector& b) const {
 void SeArdKernel::accumulateWeightedGrad(const std::vector<Vector>& x,
                                          const Matrix& w,
                                          Vector& grad) const {
-  assert(grad.size() == numParams());
+  MFBO_CHECK(grad.size() == numParams(), "grad size ", grad.size(),
+             " does not match param count ", numParams());
+  MFBO_CHECK(w.rows() == x.size() && w.cols() == x.size(),
+             "weight matrix is ", w.rows(), "x", w.cols(), ", expected ",
+             x.size(), "x", x.size());
   const std::size_t n = x.size();
   const std::size_t d = log_l_.size();
   std::vector<double> inv_l2(d);
@@ -109,7 +118,7 @@ NargpKernel::NargpKernel(std::size_t x_dim)
       log_l2_(x_dim, std::log(0.5)),
       log_sf3_(std::log(0.3)),
       log_l3_(x_dim, std::log(0.5)) {
-  if (x_dim == 0) throw std::invalid_argument("NargpKernel: x_dim must be >= 1");
+  MFBO_CHECK(x_dim >= 1, "x_dim must be >= 1");
 }
 
 Vector NargpKernel::params() const {
@@ -124,7 +133,8 @@ Vector NargpKernel::params() const {
 }
 
 void NargpKernel::setParams(const Vector& p) {
-  assert(p.size() == numParams());
+  MFBO_CHECK(p.size() == numParams(), "got ", p.size(), " params, expected ",
+             numParams());
   std::size_t k = 0;
   log_l_rho_ = p[k++];
   log_sf2_ = p[k++];
@@ -143,7 +153,9 @@ std::string NargpKernel::paramName(std::size_t i) const {
 
 NargpKernel::Parts NargpKernel::evalParts(const Vector& a,
                                           const Vector& b) const {
-  assert(a.size() == inputDim() && b.size() == inputDim());
+  MFBO_DCHECK(a.size() == inputDim() && b.size() == inputDim(),
+              "input dim mismatch: ", a.size(), ", ", b.size(),
+              " vs kernel dim ", inputDim());
   const double dy = a[x_dim_] - b[x_dim_];
   const double inv_lr = std::exp(-log_l_rho_);
   const double k1 = std::exp(-0.5 * dy * dy * inv_lr * inv_lr);
@@ -169,7 +181,8 @@ double NargpKernel::k1Scalar(double y_a, double y_b) const {
 void NargpKernel::crossXParts(const std::vector<Vector>& z,
                               const Vector& x_star, Vector& c2,
                               Vector& c3) const {
-  assert(x_star.size() >= x_dim_);
+  MFBO_CHECK(x_star.size() >= x_dim_, "x_star dim ", x_star.size(),
+             " smaller than x_dim ", x_dim_);
   const std::size_t n = z.size();
   c2 = Vector(n);
   c3 = Vector(n);
@@ -199,7 +212,11 @@ double NargpKernel::eval(const Vector& a, const Vector& b) const {
 void NargpKernel::accumulateWeightedGrad(const std::vector<Vector>& x,
                                          const Matrix& w,
                                          Vector& grad) const {
-  assert(grad.size() == numParams());
+  MFBO_CHECK(grad.size() == numParams(), "grad size ", grad.size(),
+             " does not match param count ", numParams());
+  MFBO_CHECK(w.rows() == x.size() && w.cols() == x.size(),
+             "weight matrix is ", w.rows(), "x", w.cols(), ", expected ",
+             x.size(), "x", x.size());
   const std::size_t n = x.size();
   const double inv_lr2 = std::exp(-2.0 * log_l_rho_);
   std::vector<double> inv_l2_sq(x_dim_), inv_l3_sq(x_dim_);

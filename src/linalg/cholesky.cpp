@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace mfbo::linalg {
 
 bool Cholesky::tryFactor(const Matrix& a, double jitter, Matrix& l_out) {
@@ -25,8 +27,10 @@ bool Cholesky::tryFactor(const Matrix& a, double jitter, Matrix& l_out) {
 }
 
 Cholesky Cholesky::factor(const Matrix& a) {
-  if (a.rows() != a.cols())
-    throw std::invalid_argument("Cholesky: matrix must be square");
+  MFBO_CHECK(a.rows() == a.cols(), "matrix must be square, got ", a.rows(),
+             "x", a.cols());
+  MFBO_CHECK(a.rows() > 0, "matrix must be non-empty");
+  MFBO_CHECK(a.allFinite(), "matrix has non-finite entries");
   Matrix l;
   if (!tryFactor(a, 0.0, l))
     throw std::runtime_error("Cholesky: matrix is not positive definite");
@@ -35,8 +39,10 @@ Cholesky Cholesky::factor(const Matrix& a) {
 
 Cholesky Cholesky::factorWithJitter(const Matrix& a, double initial_jitter,
                                     double max_jitter) {
-  if (a.rows() != a.cols())
-    throw std::invalid_argument("Cholesky: matrix must be square");
+  MFBO_CHECK(a.rows() == a.cols(), "matrix must be square, got ", a.rows(),
+             "x", a.cols());
+  MFBO_CHECK(a.rows() > 0, "matrix must be non-empty");
+  MFBO_CHECK(a.allFinite(), "matrix has non-finite entries");
   Matrix l;
   if (tryFactor(a, 0.0, l)) return Cholesky(std::move(l), 0.0);
   // Scale jitter relative to the mean diagonal so the retry ladder is
@@ -54,6 +60,7 @@ Cholesky Cholesky::factorWithJitter(const Matrix& a, double initial_jitter,
 
 Vector Cholesky::solveLower(const Vector& b) const {
   const std::size_t n = dim();
+  MFBO_CHECK(b.size() == n, "rhs size ", b.size(), " does not match dim ", n);
   Vector y(n);
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[i];
@@ -65,6 +72,7 @@ Vector Cholesky::solveLower(const Vector& b) const {
 
 Vector Cholesky::solveUpper(const Vector& y) const {
   const std::size_t n = dim();
+  MFBO_CHECK(y.size() == n, "rhs size ", y.size(), " does not match dim ", n);
   Vector x(n);
   for (std::size_t ii = n; ii-- > 0;) {
     double acc = y[ii];
@@ -79,6 +87,8 @@ Vector Cholesky::solve(const Vector& b) const {
 }
 
 Matrix Cholesky::solveMatrix(const Matrix& b) const {
+  MFBO_CHECK(b.rows() == dim(), "rhs rows ", b.rows(),
+             " do not match dim ", dim());
   Matrix x(b.rows(), b.cols());
   for (std::size_t c = 0; c < b.cols(); ++c)
     x.setCol(c, solve(b.col(c)));

@@ -14,26 +14,30 @@ Matrix Matrix::identity(std::size_t n) {
 }
 
 Vector Matrix::row(std::size_t r) const {
-  assert(r < rows_);
+  MFBO_CHECK(r < rows_, "row ", r, " out of range [0,", rows_, ")");
   Vector out(cols_);
   for (std::size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
   return out;
 }
 
 Vector Matrix::col(std::size_t c) const {
-  assert(c < cols_);
+  MFBO_CHECK(c < cols_, "col ", c, " out of range [0,", cols_, ")");
   Vector out(rows_);
   for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
   return out;
 }
 
 void Matrix::setRow(std::size_t r, const Vector& v) {
-  assert(r < rows_ && v.size() == cols_);
+  MFBO_CHECK(r < rows_, "row ", r, " out of range [0,", rows_, ")");
+  MFBO_CHECK(v.size() == cols_, "vector size ", v.size(),
+             " does not match cols ", cols_);
   for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
 }
 
 void Matrix::setCol(std::size_t c, const Vector& v) {
-  assert(c < cols_ && v.size() == rows_);
+  MFBO_CHECK(c < cols_, "col ", c, " out of range [0,", cols_, ")");
+  MFBO_CHECK(v.size() == rows_, "vector size ", v.size(),
+             " does not match rows ", rows_);
   for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
 }
 
@@ -45,13 +49,15 @@ Matrix Matrix::transpose() const {
 }
 
 Matrix& Matrix::operator+=(const Matrix& rhs) {
-  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  MFBO_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch: ",
+             rows_, "x", cols_, " vs ", rhs.rows_, "x", rhs.cols_);
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& rhs) {
-  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  MFBO_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch: ",
+             rows_, "x", cols_, " vs ", rhs.rows_, "x", rhs.cols_);
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
   return *this;
 }
@@ -73,7 +79,9 @@ bool Matrix::allFinite() const {
 }
 
 double Matrix::maxAbsDiff(const Matrix& a, const Matrix& b) {
-  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  MFBO_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "shape mismatch: ", a.rows(), "x", a.cols(), " vs ", b.rows(),
+             "x", b.cols());
   double m = 0.0;
   for (std::size_t i = 0; i < a.data_.size(); ++i)
     m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
@@ -86,7 +94,8 @@ Matrix operator*(Matrix m, double s) { return m *= s; }
 Matrix operator*(double s, Matrix m) { return m *= s; }
 
 Matrix operator*(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.rows());
+  MFBO_CHECK(a.cols() == b.rows(), "inner dimension mismatch: ", a.cols(),
+             " vs ", b.rows());
   Matrix out(a.rows(), b.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
@@ -99,7 +108,8 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
 }
 
 Vector operator*(const Matrix& m, const Vector& v) {
-  assert(m.cols() == v.size());
+  MFBO_CHECK(m.cols() == v.size(), "inner dimension mismatch: ", m.cols(),
+             " vs ", v.size());
   Vector out(m.rows());
   for (std::size_t r = 0; r < m.rows(); ++r) {
     double acc = 0.0;
@@ -110,7 +120,8 @@ Vector operator*(const Matrix& m, const Vector& v) {
 }
 
 Matrix gramTN(const Matrix& a, const Matrix& b) {
-  assert(a.rows() == b.rows());
+  MFBO_CHECK(a.rows() == b.rows(), "row-count mismatch: ", a.rows(), " vs ",
+             b.rows());
   Matrix out(a.cols(), b.cols());
   for (std::size_t k = 0; k < a.rows(); ++k)
     for (std::size_t i = 0; i < a.cols(); ++i) {
@@ -122,8 +133,10 @@ Matrix gramTN(const Matrix& a, const Matrix& b) {
 }
 
 LuFactor::LuFactor(Matrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
-  if (lu_.rows() != lu_.cols())
-    throw std::invalid_argument("LuFactor: matrix must be square");
+  MFBO_CHECK(lu_.rows() == lu_.cols(), "matrix must be square, got ",
+             lu_.rows(), "x", lu_.cols());
+  MFBO_CHECK(lu_.rows() > 0, "matrix must be non-empty");
+  MFBO_CHECK(lu_.allFinite(), "matrix has non-finite entries");
   const std::size_t n = lu_.rows();
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
@@ -158,7 +171,7 @@ LuFactor::LuFactor(Matrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
 
 Vector LuFactor::solve(const Vector& b) const {
   const std::size_t n = dim();
-  assert(b.size() == n);
+  MFBO_CHECK(b.size() == n, "rhs size ", b.size(), " does not match dim ", n);
   Vector x(n);
   // Forward substitution with permuted RHS (L has unit diagonal).
   for (std::size_t i = 0; i < n; ++i) {

@@ -6,11 +6,11 @@
 // cholesky.h.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <iosfwd>
 #include <vector>
 
+#include "common/check.h"
 #include "linalg/vector.h"
 
 namespace mfbo::linalg {
@@ -32,12 +32,17 @@ class Matrix {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 
+  // Element access sits inside O(n³) kernels, so it is checked only in
+  // debug / hardened builds (MFBO_DCHECK); the bulk accessors below
+  // (row/col/setRow/setCol) are checked in every build type.
   double& operator()(std::size_t r, std::size_t c) {
-    assert(r < rows_ && c < cols_);
+    MFBO_DCHECK(r < rows_ && c < cols_, "(", r, ",", c, ") out of ", rows_,
+                "x", cols_);
     return data_[r * cols_ + c];
   }
   double operator()(std::size_t r, std::size_t c) const {
-    assert(r < rows_ && c < cols_);
+    MFBO_DCHECK(r < rows_ && c < cols_, "(", r, ",", c, ") out of ", rows_,
+                "x", cols_);
     return data_[r * cols_ + c];
   }
 

@@ -1,7 +1,6 @@
 #include "linalg/rng.h"
 
-#include <cassert>
-#include <stdexcept>
+#include "common/check.h"
 
 namespace mfbo::linalg {
 
@@ -11,12 +10,12 @@ double Rng::uniform(double lo, double hi) {
 }
 
 double Rng::normal(double mean, double sd) {
-  assert(sd >= 0.0);
+  MFBO_CHECK(sd >= 0.0, "negative standard deviation ", sd);
   return mean + sd * normal_(engine_);
 }
 
 std::size_t Rng::index(std::size_t n) {
-  assert(n >= 1);
+  MFBO_CHECK(n >= 1, "empty index range");
   std::uniform_int_distribution<std::size_t> dist(0, n - 1);
   return dist(engine_);
 }
@@ -36,8 +35,8 @@ Vector Rng::normalVector(std::size_t d) {
 std::vector<std::size_t> Rng::distinctIndices(std::size_t k, std::size_t n,
                                               std::size_t exclude) {
   const std::size_t available = exclude < n ? n - 1 : n;
-  if (k > available)
-    throw std::invalid_argument("Rng::distinctIndices: not enough candidates");
+  MFBO_CHECK(k <= available, "need ", k, " distinct indices but only ",
+             available, " candidates");
   std::vector<std::size_t> out;
   out.reserve(k);
   while (out.size() < k) {

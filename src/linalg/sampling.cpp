@@ -2,16 +2,17 @@
 
 #include <algorithm>
 #include <numeric>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace mfbo::linalg {
 
 Box::Box(Vector lo, Vector hi) : lower(std::move(lo)), upper(std::move(hi)) {
-  if (lower.size() != upper.size())
-    throw std::invalid_argument("Box: dimension mismatch");
+  MFBO_CHECK(lower.size() == upper.size(), "dimension mismatch: ",
+             lower.size(), " vs ", upper.size());
   for (std::size_t i = 0; i < lower.size(); ++i)
-    if (lower[i] > upper[i])
-      throw std::invalid_argument("Box: lower bound exceeds upper bound");
+    MFBO_CHECK(lower[i] <= upper[i], "lower bound ", lower[i],
+               " exceeds upper bound ", upper[i], " in dimension ", i);
 }
 
 Box Box::unitCube(std::size_t d) {
@@ -19,18 +20,24 @@ Box Box::unitCube(std::size_t d) {
 }
 
 Vector Box::clamp(Vector x) const {
+  MFBO_DCHECK(x.size() == dim(), "point dim ", x.size(),
+              " does not match box dim ", dim());
   for (std::size_t i = 0; i < dim(); ++i)
     x[i] = std::clamp(x[i], lower[i], upper[i]);
   return x;
 }
 
 bool Box::contains(const Vector& x) const {
+  MFBO_DCHECK(x.size() == dim(), "point dim ", x.size(),
+              " does not match box dim ", dim());
   for (std::size_t i = 0; i < dim(); ++i)
     if (x[i] < lower[i] || x[i] > upper[i]) return false;
   return true;
 }
 
 Vector Box::fromUnit(const Vector& u) const {
+  MFBO_DCHECK(u.size() == dim(), "point dim ", u.size(),
+              " does not match box dim ", dim());
   Vector x(dim());
   for (std::size_t i = 0; i < dim(); ++i)
     x[i] = lower[i] + u[i] * (upper[i] - lower[i]);
@@ -38,6 +45,8 @@ Vector Box::fromUnit(const Vector& u) const {
 }
 
 Vector Box::toUnit(const Vector& x) const {
+  MFBO_DCHECK(x.size() == dim(), "point dim ", x.size(),
+              " does not match box dim ", dim());
   Vector u(dim());
   for (std::size_t i = 0; i < dim(); ++i) {
     const double w = upper[i] - lower[i];
@@ -79,6 +88,8 @@ std::vector<Vector> uniformSamples(std::size_t n, const Box& box, Rng& rng) {
 
 Vector gaussianJitterInBox(const Vector& center, double relative_sd,
                            const Box& box, Rng& rng) {
+  MFBO_CHECK(center.size() == box.dim(), "center dim ", center.size(),
+             " does not match box dim ", box.dim());
   Vector x(center.size());
   for (std::size_t i = 0; i < center.size(); ++i) {
     const double sd = relative_sd * (box.upper[i] - box.lower[i]);

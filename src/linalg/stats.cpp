@@ -1,10 +1,10 @@
 #include "linalg/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numbers>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace mfbo::linalg {
 
@@ -17,8 +17,7 @@ double normalCdf(double x) {
 }
 
 double normalQuantile(double p) {
-  if (!(p > 0.0 && p < 1.0))
-    throw std::domain_error("normalQuantile: p must be in (0,1)");
+  MFBO_CHECK(p > 0.0 && p < 1.0, "p must be in (0,1), got ", p);
   // Acklam's algorithm.
   static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
                              -2.759285104469687e+02, 1.383577518672690e+02,
@@ -53,7 +52,7 @@ double normalQuantile(double p) {
 }
 
 double mean(const std::vector<double>& v) {
-  assert(!v.empty());
+  MFBO_CHECK(!v.empty(), "mean of empty sample");
   double acc = 0.0;
   for (double x : v) acc += x;
   return acc / static_cast<double>(v.size());
@@ -70,7 +69,7 @@ double variance(const std::vector<double>& v) {
 double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
 
 double median(std::vector<double> v) {
-  assert(!v.empty());
+  MFBO_CHECK(!v.empty(), "median of empty sample");
   const std::size_t mid = v.size() / 2;
   std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
   double hi = v[mid];
@@ -82,7 +81,7 @@ double median(std::vector<double> v) {
 
 RunSummary summarizeRuns(const std::vector<double>& values,
                          bool lower_is_better) {
-  assert(!values.empty());
+  MFBO_CHECK(!values.empty(), "no runs to summarize");
   RunSummary s;
   s.mean = mean(values);
   s.median = median(values);
@@ -94,7 +93,7 @@ RunSummary summarizeRuns(const std::vector<double>& values,
 }
 
 Standardizer::Standardizer(const std::vector<double>& sample) {
-  assert(!sample.empty());
+  MFBO_CHECK(!sample.empty(), "empty standardization sample");
   mean_ = mfbo::linalg::mean(sample);
   const double sd = mfbo::linalg::stddev(sample);
   sd_ = sd > 1e-12 ? sd : 1.0;

@@ -7,13 +7,15 @@
 namespace mfbo::linalg {
 
 Vector& Vector::operator+=(const Vector& rhs) {
-  assert(size() == rhs.size());
+  MFBO_CHECK(size() == rhs.size(), "dimension mismatch: ", size(), " vs ",
+             rhs.size());
   for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs.data_[i];
   return *this;
 }
 
 Vector& Vector::operator-=(const Vector& rhs) {
-  assert(size() == rhs.size());
+  MFBO_CHECK(size() == rhs.size(), "dimension mismatch: ", size(), " vs ",
+             rhs.size());
   for (std::size_t i = 0; i < size(); ++i) data_[i] -= rhs.data_[i];
   return *this;
 }
@@ -41,28 +43,28 @@ double Vector::sum() const {
 }
 
 double Vector::mean() const {
-  assert(!data_.empty());
+  MFBO_CHECK(!data_.empty(), "mean of empty vector");
   return sum() / static_cast<double>(data_.size());
 }
 
 double Vector::max() const {
-  assert(!data_.empty());
+  MFBO_CHECK(!data_.empty(), "max of empty vector");
   return *std::max_element(data_.begin(), data_.end());
 }
 
 double Vector::min() const {
-  assert(!data_.empty());
+  MFBO_CHECK(!data_.empty(), "min of empty vector");
   return *std::min_element(data_.begin(), data_.end());
 }
 
 std::size_t Vector::argmin() const {
-  assert(!data_.empty());
+  MFBO_CHECK(!data_.empty(), "argmin of empty vector");
   return static_cast<std::size_t>(
       std::min_element(data_.begin(), data_.end()) - data_.begin());
 }
 
 std::size_t Vector::argmax() const {
-  assert(!data_.empty());
+  MFBO_CHECK(!data_.empty(), "argmax of empty vector");
   return static_cast<std::size_t>(
       std::max_element(data_.begin(), data_.end()) - data_.begin());
 }
@@ -84,21 +86,24 @@ Vector operator-(Vector v) {
 }
 
 double dot(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  MFBO_CHECK(a.size() == b.size(), "dimension mismatch: ", a.size(), " vs ",
+             b.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
 }
 
 Vector cwiseProduct(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  MFBO_CHECK(a.size() == b.size(), "dimension mismatch: ", a.size(), " vs ",
+             b.size());
   Vector out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
   return out;
 }
 
 double maxAbsDiff(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  MFBO_CHECK(a.size() == b.size(), "dimension mismatch: ", a.size(), " vs ",
+             b.size());
   double m = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i)
     m = std::max(m, std::abs(a[i] - b[i]));

@@ -6,12 +6,13 @@
 // hundred at most, and clarity beats cleverness at that scale.
 #pragma once
 
-#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <initializer_list>
 #include <iosfwd>
 #include <vector>
+
+#include "common/check.h"
 
 namespace mfbo::linalg {
 
@@ -33,12 +34,16 @@ class Vector {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  // Element access is bounds-checked in every build type (not just debug):
+  // an out-of-range index throws mfbo::ContractViolation.
   double& operator[](std::size_t i) {
-    assert(i < data_.size());
+    MFBO_CHECK(i < data_.size(), "index ", i, " out of range [0,",
+               data_.size(), ")");
     return data_[i];
   }
   double operator[](std::size_t i) const {
-    assert(i < data_.size());
+    MFBO_CHECK(i < data_.size(), "index ", i, " out of range [0,",
+               data_.size(), ")");
     return data_[i];
   }
 

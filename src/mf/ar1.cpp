@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace mfbo::mf {
 
@@ -11,15 +12,16 @@ Ar1Model::Ar1Model(std::size_t x_dim, Ar1Config config)
       config_(config),
       low_gp_(std::make_unique<gp::SeArdKernel>(x_dim), config.low),
       delta_gp_(std::make_unique<gp::SeArdKernel>(x_dim), config.delta) {
-  if (x_dim == 0) throw std::invalid_argument("Ar1Model: x_dim must be >= 1");
+  MFBO_CHECK(x_dim >= 1, "x_dim must be >= 1");
 }
 
 void Ar1Model::fit(std::vector<Vector> x_low, std::vector<double> y_low,
                    std::vector<Vector> x_high, std::vector<double> y_high) {
-  if (x_low.empty() || x_high.empty())
-    throw std::invalid_argument("Ar1Model::fit: both fidelity sets required");
-  if (x_high.size() != y_high.size())
-    throw std::invalid_argument("Ar1Model::fit: high-fidelity size mismatch");
+  MFBO_CHECK(!x_low.empty() && !x_high.empty(),
+             "both fidelity sets required, got ", x_low.size(), " low / ",
+             x_high.size(), " high");
+  MFBO_CHECK(x_high.size() == y_high.size(), "high-fidelity size mismatch: ",
+             x_high.size(), " inputs vs ", y_high.size(), " targets");
   low_gp_.fit(std::move(x_low), std::move(y_low));
   x_high_ = std::move(x_high);
   y_high_ = std::move(y_high);
@@ -32,8 +34,8 @@ void Ar1Model::addLow(const Vector& x, double y, bool retrain) {
 }
 
 void Ar1Model::addHigh(const Vector& x, double y, bool retrain) {
-  if (x.size() != x_dim_)
-    throw std::invalid_argument("Ar1Model::addHigh: input dim mismatch");
+  MFBO_CHECK(x.size() == x_dim_, "input dim ", x.size(),
+             " does not match x_dim ", x_dim_);
   x_high_.push_back(x);
   y_high_.push_back(y);
   rebuildDelta(retrain);
@@ -72,8 +74,7 @@ Prediction Ar1Model::predictHigh(const Vector& x) const {
 }
 
 double Ar1Model::bestHighObserved() const {
-  if (y_high_.empty())
-    throw std::logic_error("Ar1Model::bestHighObserved: no high data");
+  MFBO_CHECK(!y_high_.empty(), "no high-fidelity data");
   return *std::min_element(y_high_.begin(), y_high_.end());
 }
 

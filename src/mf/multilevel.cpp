@@ -1,6 +1,6 @@
 #include "mf/multilevel.h"
 
-#include <stdexcept>
+#include "common/check.h"
 
 namespace mfbo::mf {
 
@@ -18,12 +18,9 @@ linalg::Vector augment(const linalg::Vector& x, double y_below) {
 MultilevelNargp::MultilevelNargp(std::size_t x_dim, std::size_t n_levels,
                                  MultilevelConfig config)
     : x_dim_(x_dim), config_(config), rng_(config.seed) {
-  if (x_dim == 0)
-    throw std::invalid_argument("MultilevelNargp: x_dim must be >= 1");
-  if (n_levels < 2)
-    throw std::invalid_argument("MultilevelNargp: need at least 2 levels");
-  if (config_.n_mc == 0)
-    throw std::invalid_argument("MultilevelNargp: n_mc must be >= 1");
+  MFBO_CHECK(x_dim >= 1, "x_dim must be >= 1");
+  MFBO_CHECK(n_levels >= 2, "need at least 2 levels, got ", n_levels);
+  MFBO_CHECK(config_.n_mc >= 1, "n_mc must be >= 1");
   gps_.reserve(n_levels);
   for (std::size_t l = 0; l < n_levels; ++l) {
     gp::GpConfig cfg = config_.gp;
@@ -43,13 +40,15 @@ MultilevelNargp::MultilevelNargp(std::size_t x_dim, std::size_t n_levels,
 void MultilevelNargp::fit(
     std::vector<std::vector<linalg::Vector>> x_per_level,
     std::vector<std::vector<double>> y_per_level) {
-  if (x_per_level.size() != numLevels() ||
-      y_per_level.size() != numLevels())
-    throw std::invalid_argument("MultilevelNargp::fit: level count mismatch");
+  MFBO_CHECK(x_per_level.size() == numLevels() &&
+                 y_per_level.size() == numLevels(),
+             "level count mismatch: got ", x_per_level.size(), "/",
+             y_per_level.size(), ", expected ", numLevels());
   for (std::size_t l = 0; l < numLevels(); ++l) {
-    if (x_per_level[l].empty() ||
-        x_per_level[l].size() != y_per_level[l].size())
-      throw std::invalid_argument("MultilevelNargp::fit: bad level data");
+    MFBO_CHECK(!x_per_level[l].empty() &&
+                   x_per_level[l].size() == y_per_level[l].size(),
+               "bad data at level ", l, ": ", x_per_level[l].size(),
+               " inputs, ", y_per_level[l].size(), " targets");
   }
   x_ = std::move(x_per_level);
   y_ = std::move(y_per_level);
@@ -58,10 +57,10 @@ void MultilevelNargp::fit(
 
 void MultilevelNargp::add(std::size_t level, const linalg::Vector& x,
                           double y, bool retrain) {
-  if (level >= numLevels())
-    throw std::out_of_range("MultilevelNargp::add: bad level");
-  if (x.size() != x_dim_)
-    throw std::invalid_argument("MultilevelNargp::add: input dim mismatch");
+  MFBO_CHECK(level < numLevels(), "level ", level, " out of range [0,",
+             numLevels(), ")");
+  MFBO_CHECK(x.size() == x_dim_, "input dim ", x.size(),
+             " does not match x_dim ", x_dim_);
   x_[level].push_back(x);
   y_[level].push_back(y);
   rebuildFrom(level, retrain);
@@ -97,10 +96,9 @@ void MultilevelNargp::rebuildFrom(std::size_t from, bool retrain) {
 
 gp::Prediction MultilevelNargp::predict(std::size_t level,
                                         const linalg::Vector& x) const {
-  if (level >= numLevels())
-    throw std::out_of_range("MultilevelNargp::predict: bad level");
-  if (!gps_[0].fitted())
-    throw std::logic_error("MultilevelNargp::predict: model is not fitted");
+  MFBO_CHECK(level < numLevels(), "level ", level, " out of range [0,",
+             numLevels(), ")");
+  MFBO_CHECK(gps_[0].fitted(), "model is not fitted");
   const gp::Prediction base = gps_[0].predict(x);
   if (level == 0) return base;
 
@@ -133,14 +131,14 @@ gp::Prediction MultilevelNargp::predict(std::size_t level,
 }
 
 std::size_t MultilevelNargp::numPoints(std::size_t level) const {
-  if (level >= numLevels())
-    throw std::out_of_range("MultilevelNargp::numPoints: bad level");
+  MFBO_CHECK(level < numLevels(), "level ", level, " out of range [0,",
+             numLevels(), ")");
   return x_[level].size();
 }
 
 const gp::GpRegressor& MultilevelNargp::levelGp(std::size_t level) const {
-  if (level >= numLevels())
-    throw std::out_of_range("MultilevelNargp::levelGp: bad level");
+  MFBO_CHECK(level < numLevels(), "level ", level, " out of range [0,",
+             numLevels(), ")");
   return gps_[level];
 }
 

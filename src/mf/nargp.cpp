@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace mfbo::mf {
 
@@ -23,17 +24,17 @@ NargpModel::NargpModel(std::size_t x_dim, NargpConfig config)
       rng_(config.seed),
       low_gp_(std::make_unique<gp::SeArdKernel>(x_dim), config.low),
       high_gp_(std::make_unique<gp::NargpKernel>(x_dim), config.high) {
-  if (x_dim == 0) throw std::invalid_argument("NargpModel: x_dim must be >= 1");
-  if (config_.n_mc == 0)
-    throw std::invalid_argument("NargpModel: n_mc must be >= 1");
+  MFBO_CHECK(x_dim >= 1, "x_dim must be >= 1");
+  MFBO_CHECK(config_.n_mc >= 1, "n_mc must be >= 1");
 }
 
 void NargpModel::fit(std::vector<Vector> x_low, std::vector<double> y_low,
                      std::vector<Vector> x_high, std::vector<double> y_high) {
-  if (x_low.empty() || x_high.empty())
-    throw std::invalid_argument("NargpModel::fit: both fidelity sets required");
-  if (x_high.size() != y_high.size())
-    throw std::invalid_argument("NargpModel::fit: high-fidelity size mismatch");
+  MFBO_CHECK(!x_low.empty() && !x_high.empty(),
+             "both fidelity sets required, got ", x_low.size(), " low / ",
+             x_high.size(), " high");
+  MFBO_CHECK(x_high.size() == y_high.size(), "high-fidelity size mismatch: ",
+             x_high.size(), " inputs vs ", y_high.size(), " targets");
   low_gp_.fit(std::move(x_low), std::move(y_low));
   x_high_ = std::move(x_high);
   y_high_ = std::move(y_high);
@@ -48,8 +49,8 @@ void NargpModel::addLow(const Vector& x, double y, bool retrain) {
 }
 
 void NargpModel::addHigh(const Vector& x, double y, bool retrain) {
-  if (x.size() != x_dim_)
-    throw std::invalid_argument("NargpModel::addHigh: input dim mismatch");
+  MFBO_CHECK(x.size() == x_dim_, "input dim ", x.size(),
+             " does not match x_dim ", x_dim_);
   x_high_.push_back(x);
   y_high_.push_back(y);
   rebuildHigh(retrain);
@@ -77,8 +78,9 @@ Prediction NargpModel::predictLow(const Vector& x) const {
 }
 
 Prediction NargpModel::predictHigh(const Vector& x) const {
-  if (!high_gp_.fitted())
-    throw std::logic_error("NargpModel::predictHigh: model is not fitted");
+  MFBO_CHECK(high_gp_.fitted(), "model is not fitted");
+  MFBO_DCHECK(x.size() == x_dim_, "input dim ", x.size(),
+              " does not match x_dim ", x_dim_);
   const Prediction low = low_gp_.predict(x);
   const double low_sd = low.sd();
 
@@ -129,8 +131,7 @@ Prediction NargpModel::predictHigh(const Vector& x) const {
 }
 
 double NargpModel::bestHighObserved() const {
-  if (y_high_.empty())
-    throw std::logic_error("NargpModel::bestHighObserved: no high data");
+  MFBO_CHECK(!y_high_.empty(), "no high-fidelity data");
   return *std::min_element(y_high_.begin(), y_high_.end());
 }
 

@@ -4,11 +4,14 @@
 #include <limits>
 #include <vector>
 
+#include "common/check.h"
+
 namespace mfbo::opt {
 
 OptResult deMinimize(const ScalarObjective& f, const Box& box,
                      linalg::Rng& rng, const DeOptions& options,
                      const DeCallback& callback) {
+  MFBO_CHECK(box.dim() > 0, "zero-dimensional search box");
   const std::size_t d = box.dim();
   const std::size_t np = std::max<std::size_t>(options.population, 4);
   OptResult result;

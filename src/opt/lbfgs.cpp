@@ -4,6 +4,8 @@
 #include <cmath>
 #include <deque>
 
+#include "common/check.h"
+
 namespace mfbo::opt {
 
 namespace {
@@ -38,6 +40,9 @@ double infNorm(const Vector& v) {
 OptResult lbfgsMinimize(const GradObjective& f, const Vector& x0,
                         const std::optional<Box>& box,
                         const LbfgsOptions& options) {
+  MFBO_CHECK(!x0.empty(), "empty start point");
+  MFBO_CHECK(!box || box->dim() == x0.size(), "start dim ", x0.size(),
+             " does not match box dim ", box ? box->dim() : 0);
   OptResult result;
   Vector x = project(x0, box);
   Vector grad;

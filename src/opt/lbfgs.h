@@ -22,8 +22,9 @@ struct LbfgsOptions {
 
 /// Minimize @p f starting at @p x0. When @p box is provided, iterates are
 /// projected into the box and convergence is measured on the projected
-/// gradient. Throws nothing; on pathological objectives (NaN) the best
-/// iterate so far is returned with converged = false.
+/// gradient. Throws mfbo::ContractViolation when x0 is empty or its
+/// dimension disagrees with the box; on pathological objectives (NaN) the
+/// best iterate so far is returned with converged = false.
 OptResult lbfgsMinimize(const GradObjective& f, const Vector& x0,
                         const std::optional<Box>& box = std::nullopt,
                         const LbfgsOptions& options = {});

@@ -1,15 +1,13 @@
 #include "opt/multistart.h"
 
-#include <cassert>
-#include <stdexcept>
+#include "common/check.h"
 
 namespace mfbo::opt {
 
 OptResult multistartMinimize(const ScalarObjective& f,
                              const std::vector<Vector>& starts, const Box& box,
                              const MultistartOptions& options) {
-  if (starts.empty())
-    throw std::invalid_argument("multistartMinimize: no starting points");
+  MFBO_CHECK(!starts.empty(), "no starting points");
   OptResult best;
   bool first = true;
   for (const Vector& start : starts) {
@@ -37,7 +35,8 @@ std::vector<Vector> composeStarts(std::size_t n_random,
                                   const std::vector<std::size_t>& counts,
                                   double relative_sd, const Box& box,
                                   linalg::Rng& rng) {
-  assert(incumbents.size() == counts.size());
+  MFBO_CHECK(incumbents.size() == counts.size(), "got ", incumbents.size(),
+             " incumbents but ", counts.size(), " counts");
   std::vector<Vector> starts = linalg::latinHypercube(n_random, box, rng);
   for (std::size_t i = 0; i < incumbents.size(); ++i) {
     for (std::size_t k = 0; k < counts[i]; ++k)

@@ -5,11 +5,16 @@
 #include <numeric>
 #include <vector>
 
+#include "common/check.h"
+
 namespace mfbo::opt {
 
 OptResult nelderMeadMinimize(const ScalarObjective& f, const Vector& x0,
                              const std::optional<Box>& box,
                              const NelderMeadOptions& options) {
+  MFBO_CHECK(!x0.empty(), "empty start point");
+  MFBO_CHECK(!box || box->dim() == x0.size(), "start dim ", x0.size(),
+             " does not match box dim ", box ? box->dim() : 0);
   const std::size_t d = x0.size();
   OptResult result;
 

@@ -9,6 +9,7 @@
 #include "bo/gaspad.h"
 #include "bo/mfbo.h"
 #include "bo/weibo.h"
+#include "common/check.h"
 #include "problems/synthetic.h"
 
 namespace {
@@ -77,7 +78,7 @@ TEST(Dataset, Columns) {
   d.add(Vector{0.2}, Evaluation{3.0, {0.5, -1.0}});
   EXPECT_EQ(d.objectives(), (std::vector<double>{5.0, 3.0}));
   EXPECT_EQ(d.constraintColumn(1), (std::vector<double>{-2.0, -1.0}));
-  EXPECT_THROW(d.constraintColumn(2), std::out_of_range);
+  EXPECT_THROW(d.constraintColumn(2), mfbo::ContractViolation);
 }
 
 TEST(Dataset, MinDistance) {

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "gp/gp_regressor.h"
 #include "gp/kernel.h"
 #include "linalg/rng.h"
@@ -232,7 +233,7 @@ TEST(Nlml, GradientMatchesFiniteDifference) {
 TEST(Nlml, ThrowsOnEmptyData) {
   SeArdKernel kernel(1);
   EXPECT_THROW(negLogMarginalLikelihood(kernel, 0.0, {}, Vector{}),
-               std::invalid_argument);
+               mfbo::ContractViolation);
 }
 
 // -------------------------------------------------------------- regressor --
@@ -321,10 +322,10 @@ TEST(GpRegressor, BestObservedIsMinimum) {
 TEST(GpRegressor, ThrowsOnMisuse) {
   GpRegressor gp(std::make_unique<SeArdKernel>(2));
   EXPECT_THROW(gp.predict(Vector{0.0, 0.0}), std::logic_error);
-  EXPECT_THROW(gp.fit({}, {}), std::invalid_argument);
-  EXPECT_THROW(gp.fit({Vector{0.0}}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(gp.fit({}, {}), mfbo::ContractViolation);
+  EXPECT_THROW(gp.fit({Vector{0.0}}, {1.0}), mfbo::ContractViolation);
   EXPECT_THROW(gp.fit({Vector{0.0, 0.0}}, {1.0, 2.0}),
-               std::invalid_argument);
+               mfbo::ContractViolation);
 }
 
 TEST(GpRegressor, CopyIsIndependent) {

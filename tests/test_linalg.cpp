@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/check.h"
 #include "linalg/cholesky.h"
 #include "linalg/matrix.h"
 #include "linalg/rng.h"
@@ -355,7 +356,7 @@ TEST(Rng, DistinctIndicesAreDistinctAndExclude) {
 
 TEST(Rng, DistinctIndicesThrowsWhenImpossible) {
   Rng rng(9);
-  EXPECT_THROW(rng.distinctIndices(3, 3, 1), std::invalid_argument);
+  EXPECT_THROW(rng.distinctIndices(3, 3, 1), mfbo::ContractViolation);
 }
 
 TEST(Rng, ForkProducesDifferentStream) {
@@ -380,8 +381,8 @@ TEST(Stats, QuantileInvertsCdf) {
   for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
     EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-8) << "p=" << p;
   }
-  EXPECT_THROW(normalQuantile(0.0), std::domain_error);
-  EXPECT_THROW(normalQuantile(1.0), std::domain_error);
+  EXPECT_THROW(normalQuantile(0.0), mfbo::ContractViolation);
+  EXPECT_THROW(normalQuantile(1.0), mfbo::ContractViolation);
 }
 
 TEST(Stats, MeanVarianceMedian) {
@@ -431,8 +432,8 @@ TEST(Stats, VarianceUnapplyScalesQuadratically) {
 // -------------------------------------------------------------- Sampling --
 
 TEST(Box, ConstructionValidates) {
-  EXPECT_THROW(Box(Vector{1.0}, Vector{0.0}), std::invalid_argument);
-  EXPECT_THROW(Box(Vector{0.0, 0.0}, Vector{1.0}), std::invalid_argument);
+  EXPECT_THROW(Box(Vector{1.0}, Vector{0.0}), mfbo::ContractViolation);
+  EXPECT_THROW(Box(Vector{0.0, 0.0}, Vector{1.0}), mfbo::ContractViolation);
 }
 
 TEST(Box, ClampContainsRoundTrip) {

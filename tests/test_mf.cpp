@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "gp/gp_regressor.h"
 #include "linalg/rng.h"
 #include "mf/ar1.h"
@@ -160,12 +161,13 @@ TEST(Nargp, TracksBestObserved) {
 }
 
 TEST(Nargp, ThrowsOnMisuse) {
-  EXPECT_THROW(NargpModel(0), std::invalid_argument);
+  EXPECT_THROW(NargpModel(0), mfbo::ContractViolation);
   NargpModel model(1, fastNargpConfig());
   EXPECT_THROW(model.predictHigh(mfbo::linalg::Vector{0.5}), std::logic_error);
   auto d = makePedagogical(5, 3);
-  EXPECT_THROW(model.fit({}, {}, d.x_high, d.y_high), std::invalid_argument);
-  EXPECT_THROW(model.fit(d.x_low, d.y_low, {}, {}), std::invalid_argument);
+  EXPECT_THROW(model.fit({}, {}, d.x_high, d.y_high),
+               mfbo::ContractViolation);
+  EXPECT_THROW(model.fit(d.x_low, d.y_low, {}, {}), mfbo::ContractViolation);
 }
 
 TEST(Nargp, WorksIn2d) {
@@ -262,10 +264,10 @@ TEST(Ar1, VarianceCombinesBothLevels) {
 }
 
 TEST(Ar1, ThrowsOnMisuse) {
-  EXPECT_THROW(Ar1Model(0), std::invalid_argument);
+  EXPECT_THROW(Ar1Model(0), mfbo::ContractViolation);
   Ar1Model model(2);
   EXPECT_THROW(model.addHigh(mfbo::linalg::Vector{0.0}, 1.0),
-               std::invalid_argument);
+               mfbo::ContractViolation);
 }
 
 }  // namespace

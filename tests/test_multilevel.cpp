@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "mf/multilevel.h"
 #include "mf/nargp.h"
 
@@ -69,8 +70,8 @@ double rmseAtLevel(const mf::MultilevelNargp& model, std::size_t level,
 }
 
 TEST(Multilevel, ConstructionValidation) {
-  EXPECT_THROW(mf::MultilevelNargp(0, 3), std::invalid_argument);
-  EXPECT_THROW(mf::MultilevelNargp(1, 1), std::invalid_argument);
+  EXPECT_THROW(mf::MultilevelNargp(0, 3), mfbo::ContractViolation);
+  EXPECT_THROW(mf::MultilevelNargp(1, 1), mfbo::ContractViolation);
   mf::MultilevelNargp model(2, 4);
   EXPECT_EQ(model.numLevels(), 4u);
   EXPECT_EQ(model.xDim(), 2u);
@@ -82,7 +83,7 @@ TEST(Multilevel, FitValidation) {
   auto c = makeCascade(8, 5, 3);
   c.x.pop_back();  // wrong level count
   c.y.pop_back();
-  EXPECT_THROW(model.fit(c.x, c.y), std::invalid_argument);
+  EXPECT_THROW(model.fit(c.x, c.y), mfbo::ContractViolation);
 }
 
 TEST(Multilevel, Level0MatchesPlainGp) {
@@ -176,10 +177,10 @@ TEST(Multilevel, ThrowsOnBadLevelArguments) {
   auto c = makeCascade(9, 6, 4);
   mf::MultilevelNargp model(1, 3, fastConfig());
   model.fit(c.x, c.y);
-  EXPECT_THROW(model.predict(3, Vector{0.5}), std::out_of_range);
-  EXPECT_THROW(model.add(3, Vector{0.5}, 0.0), std::out_of_range);
-  EXPECT_THROW(model.numPoints(5), std::out_of_range);
-  EXPECT_THROW(model.add(0, Vector{0.1, 0.2}, 0.0), std::invalid_argument);
+  EXPECT_THROW(model.predict(3, Vector{0.5}), mfbo::ContractViolation);
+  EXPECT_THROW(model.add(3, Vector{0.5}, 0.0), mfbo::ContractViolation);
+  EXPECT_THROW(model.numPoints(5), mfbo::ContractViolation);
+  EXPECT_THROW(model.add(0, Vector{0.1, 0.2}, 0.0), mfbo::ContractViolation);
 }
 
 }  // namespace

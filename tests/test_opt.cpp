@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "opt/de.h"
 #include "opt/lbfgs.h"
 #include "opt/multistart.h"
@@ -255,7 +256,7 @@ TEST(Multistart, FindsGlobalAmongLocalMinima) {
 
 TEST(Multistart, ThrowsOnEmptyStarts) {
   Box box = Box::unitCube(1);
-  EXPECT_THROW(multistartMinimize(sphere, {}, box), std::invalid_argument);
+  EXPECT_THROW(multistartMinimize(sphere, {}, box), mfbo::ContractViolation);
 }
 
 TEST(Multistart, ComposeStartsCountsAndPlacement) {

@@ -9,14 +9,14 @@
 #include "bo/acquisition.h"
 #include "bo/mfbo.h"
 #include "bo/weibo.h"
-#include "opt/de.h"
-#include "opt/nelder_mead.h"
 #include "circuit/netlist.h"
 #include "circuit/simulator.h"
 #include "gp/gp_regressor.h"
 #include "linalg/cholesky.h"
 #include "linalg/rng.h"
 #include "linalg/sampling.h"
+#include "opt/de.h"
+#include "opt/nelder_mead.h"
 #include "problems/synthetic.h"
 
 namespace {

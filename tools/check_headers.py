@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Repo-specific header lint for the mfbo codebase.
+
+Checks, per file under the given roots (default: src/):
+
+  1. Every header uses `#pragma once` (no include guards).
+  2. Include order: a .cpp's first include is its own header, then one
+     block of system includes (<...>), then one block of project
+     includes ("..."), each block sorted alphabetically and the blocks
+     separated by blank lines. Headers follow the same rule minus the
+     own-header line.
+  3. Every file under src/<module>/ opens `namespace mfbo::<module>`
+     (the common/ module uses the plain `mfbo` namespace).
+
+Exit status is 0 when clean, 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# src/<module>/ -> required namespace. common/ holds cross-cutting
+# utilities and deliberately lives in the top-level mfbo namespace.
+NAMESPACE_FOR_MODULE = {
+    "common": "mfbo",
+    "linalg": "mfbo::linalg",
+    "opt": "mfbo::opt",
+    "gp": "mfbo::gp",
+    "mf": "mfbo::mf",
+    "circuit": "mfbo::circuit",
+    "bo": "mfbo::bo",
+    "problems": "mfbo::problems",
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
+
+HEADER_SUFFIXES = {".h", ".hpp"}
+SOURCE_SUFFIXES = {".cpp", ".cc"}
+
+
+def iter_files(roots: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in HEADER_SUFFIXES | SOURCE_SUFFIXES:
+                files.append(path)
+    return files
+
+
+def own_header_spelling(path: Path) -> str | None:
+    """The quoted include a .cpp should lead with, e.g. "bo/mfbo.h"."""
+    if path.suffix not in SOURCE_SUFFIXES:
+        return None
+    for suffix in HEADER_SUFFIXES:
+        header = path.with_suffix(suffix)
+        if header.exists():
+            try:
+                rel = header.relative_to(REPO_ROOT / "src")
+            except ValueError:
+                rel = Path(header.name)
+            return f'"{rel.as_posix()}"'
+    return None
+
+
+def check_pragma_once(path: Path, lines: list[str], errors: list[str]) -> None:
+    if path.suffix not in HEADER_SUFFIXES:
+        return
+    if not any(line.strip() == "#pragma once" for line in lines[:40]):
+        errors.append(f"{path}: missing `#pragma once`")
+    if any(re.match(r"\s*#\s*ifndef\s+\w*_H\b", line) for line in lines[:40]):
+        errors.append(f"{path}: uses an include guard instead of `#pragma once`")
+
+
+def check_include_order(path: Path, lines: list[str], errors: list[str]) -> None:
+    # (line number, spelling) for every include directive, plus the line
+    # numbers of blank lines so block boundaries can be recovered.
+    includes: list[tuple[int, str]] = []
+    for number, line in enumerate(lines, start=1):
+        match = INCLUDE_RE.match(line)
+        if match:
+            includes.append((number, match.group(1)))
+    if not includes:
+        return
+
+    own = own_header_spelling(path)
+    if own is not None and includes and includes[0][1] == own:
+        includes = includes[1:]
+    elif own is not None and any(spelling == own for _, spelling in includes):
+        errors.append(
+            f"{path}: own header {own} must be the first include"
+        )
+
+    # House style: test files lead with <gtest/gtest.h> before the system
+    # block (it is a third-party header, not a system one).
+    if includes and includes[0][1] == "<gtest/gtest.h>":
+        includes = includes[1:]
+    elif any(s == "<gtest/gtest.h>" for _, s in includes):
+        errors.append(f"{path}: <gtest/gtest.h> must be the first include")
+
+    system = [(n, s) for n, s in includes if s.startswith("<")]
+    project = [(n, s) for n, s in includes if s.startswith('"')]
+
+    if system and project and max(n for n, _ in system) > min(n for n, _ in project):
+        errors.append(
+            f"{path}: system includes (<...>) must precede project includes (\"...\")"
+        )
+
+    for group_name, group in (("system", system), ("project", project)):
+        spellings = [s for _, s in group]
+        if spellings != sorted(spellings):
+            first_bad = next(
+                (n for (n, s), want in zip(group, sorted(spellings)) if s != want),
+                group[0][0],
+            )
+            errors.append(
+                f"{path}:{first_bad}: {group_name} includes are not sorted"
+            )
+
+
+def check_namespace(path: Path, text: str, errors: list[str]) -> None:
+    try:
+        rel = path.relative_to(REPO_ROOT / "src")
+    except ValueError:
+        return  # only src/ carries the namespace convention
+    module = rel.parts[0] if len(rel.parts) > 1 else None
+    if module is None:
+        return
+    expected = NAMESPACE_FOR_MODULE.get(module)
+    if expected is None:
+        errors.append(f"{path}: unknown module `{module}` (update tools/check_headers.py)")
+        return
+    pattern = rf"namespace\s+{re.escape(expected)}\s*{{"
+    if not re.search(pattern, text):
+        errors.append(f"{path}: expected `namespace {expected} {{`")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src/)",
+    )
+    args = parser.parse_args()
+
+    roots = [(REPO_ROOT / p) if not Path(p).is_absolute() else Path(p) for p in args.paths]
+    errors: list[str] = []
+    for root in roots:
+        if not root.exists():
+            errors.append(f"{root}: path does not exist")
+    roots = [r for r in roots if r.exists()]
+    files = iter_files(roots)
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        check_pragma_once(path, lines, errors)
+        check_include_order(path, lines, errors)
+        check_namespace(path, text, errors)
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"check_headers: {len(files)} files, {len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

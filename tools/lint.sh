@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Static-analysis runner: header lint always, clang-tidy when available.
+#
+# Usage: tools/lint.sh [paths...]        (default: src/)
+#
+# clang-tidy needs a compile_commands.json; the script configures the
+# `tidy` CMake preset on demand to produce one. On machines without
+# clang-tidy (e.g. a gcc-only container) the tidy step is skipped with a
+# notice — CI runs it on a clang image, so nothing slips through.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+paths=("$@")
+if [[ ${#paths[@]} -eq 0 ]]; then
+  paths=(src)
+fi
+
+status=0
+
+echo "== check_headers =="
+python3 tools/check_headers.py "${paths[@]}" || status=1
+
+echo "== clang-tidy =="
+if command -v clang-tidy > /dev/null 2>&1; then
+  build_dir="build-tidy"
+  if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+    cmake --preset tidy -DCMAKE_CXX_CLANG_TIDY= > /dev/null
+  fi
+  # Collect translation units under the requested paths.
+  mapfile -t sources < <(find "${paths[@]}" -name '*.cpp' | sort)
+  if [[ ${#sources[@]} -gt 0 ]]; then
+    clang-tidy -p "${build_dir}" --quiet "${sources[@]}" || status=1
+  fi
+else
+  echo "clang-tidy not found; skipped (CI runs it on a clang image)"
+fi
+
+if [[ ${status} -eq 0 ]]; then
+  echo "lint: OK"
+else
+  echo "lint: FAILED" >&2
+fi
+exit "${status}"
