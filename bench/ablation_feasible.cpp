@@ -84,11 +84,15 @@ int main(int argc, char** argv) {
   bo::MfboOptions off = on;
   off.use_first_feasible = false;
 
+  bench::AlgoStats stats_on{"first_feasible_on"};
+  bench::AlgoStats stats_off{"first_feasible_off"};
   std::size_t found_on = 0, found_off = 0;
   std::vector<double> cost_on, cost_off;
   for (std::size_t r = 0; r < runs; ++r) {
     const auto a = bo::MfboSynthesizer(on).run(problem, cfg.seed + r);
     const auto b = bo::MfboSynthesizer(off).run(problem, cfg.seed + r);
+    stats_on.add(a);
+    stats_off.add(b);
     const double ca = costToFirstFeasible(a);
     const double cb = costToFirstFeasible(b);
     if (std::isfinite(ca)) {
@@ -115,5 +119,7 @@ int main(int argc, char** argv) {
               cost_off.empty()
                   ? "-"
                   : std::to_string(linalg::mean(cost_off)).c_str());
+  bench::writeArtifact(cfg, "ablation_feasible", runs,
+                       {&stats_on, &stats_off});
   return 0;
 }

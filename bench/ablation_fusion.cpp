@@ -125,18 +125,16 @@ int main(int argc, char** argv) {
   };
 
   problems::PedagogicalProblem problem;
-  std::vector<double> best_nargp, best_ar1;
+  bench::AlgoStats nargp_stats{"mfbo_nargp"}, ar1_stats{"mfbo_ar1"};
   for (std::size_t r = 0; r < runs; ++r) {
-    best_nargp.push_back(bo::MfboSynthesizer(base)
-                             .run(problem, cfg.seed + r)
-                             .best_eval.objective);
-    best_ar1.push_back(bo::MfboSynthesizer(with_ar1)
-                           .run(problem, cfg.seed + r)
-                           .best_eval.objective);
+    nargp_stats.addTimed(bo::MfboSynthesizer(base), problem, cfg.seed + r);
+    ar1_stats.addTimed(bo::MfboSynthesizer(with_ar1), problem, cfg.seed + r);
   }
   std::printf("%-30s %12.5f\n", "Algorithm 1 + NARGP",
-              linalg::mean(best_nargp));
+              linalg::mean(nargp_stats.objectives));
   std::printf("%-30s %12.5f\n", "Algorithm 1 + AR(1)",
-              linalg::mean(best_ar1));
+              linalg::mean(ar1_stats.objectives));
+  bench::writeArtifact(cfg, "ablation_fusion", runs,
+                       {&nargp_stats, &ar1_stats});
   return 0;
 }

@@ -5,6 +5,8 @@
 // expensive model (pure high-fidelity BO with a low-fidelity prior). The
 // paper fixes γ = 0.01 "empirically" — this bench sweeps it.
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
 #include "bo/mfbo.h"
@@ -24,6 +26,8 @@ int main(int argc, char** argv) {
   std::printf("%10s %10s %10s %10s %10s %10s\n", "gamma", "mean f",
               "worst f", "avg nlow", "avg nhigh", "avg #sim");
 
+  std::vector<bench::AlgoStats> sweep;
+  sweep.reserve(5);
   for (double gamma : {0.0, 1e-3, 1e-2, 1e-1, 1e9}) {
     bo::MfboOptions opt;
     opt.n_init_low = 12;
@@ -36,19 +40,25 @@ int main(int argc, char** argv) {
     opt.nargp.low.n_restarts = 1;
     opt.nargp.high.n_restarts = 1;
 
-    std::vector<double> best, nlow, nhigh, cost;
+    char label[32];
+    std::snprintf(label, sizeof label, "gamma=%.0e", gamma);
+    bench::AlgoStats stats{label};
+    std::vector<double> nlow, nhigh;
     for (std::size_t r = 0; r < runs; ++r) {
       const auto res = bo::MfboSynthesizer(opt).run(problem, cfg.seed + r);
-      best.push_back(res.best_eval.objective);
+      stats.add(res);
       nlow.push_back(static_cast<double>(res.n_low));
       nhigh.push_back(static_cast<double>(res.n_high));
-      cost.push_back(bench::costToReachBest(res));
     }
-    const auto s = linalg::summarizeRuns(best, true);
+    const auto s = stats.summary(true);
     std::printf("%10.0e %10.4f %10.4f %10.1f %10.1f %10.1f\n", gamma, s.mean,
                 s.worst, linalg::mean(nlow), linalg::mean(nhigh),
-                linalg::mean(cost));
+                stats.avgSims());
+    sweep.push_back(std::move(stats));
   }
+  std::vector<const bench::AlgoStats*> algos;
+  for (const auto& s : sweep) algos.push_back(&s);
+  bench::writeArtifact(cfg, "ablation_gamma", runs, algos);
   std::printf("\n# paper's choice gamma = 0.01 should sit at (or near) the "
               "sweet spot.\n");
   return 0;

@@ -35,17 +35,15 @@ int main(int argc, char** argv) {
   random_only.msp.frac_tau_l = 0.0;
   random_only.msp.frac_tau_h = 0.0;
 
-  std::vector<double> best_paper, best_random;
-  std::vector<double> cost_paper, cost_random;
+  bench::AlgoStats with_scatter{"msp_incumbent_scatter"};
+  bench::AlgoStats all_random{"msp_all_random"};
   for (std::size_t r = 0; r < runs; ++r) {
-    const auto a = bo::MfboSynthesizer(paper).run(problem, cfg.seed + r);
-    const auto b =
-        bo::MfboSynthesizer(random_only).run(problem, cfg.seed + r);
-    best_paper.push_back(a.best_eval.objective);
-    best_random.push_back(b.best_eval.objective);
-    cost_paper.push_back(bench::costToReachBest(a));
-    cost_random.push_back(bench::costToReachBest(b));
+    with_scatter.addTimed(bo::MfboSynthesizer(paper), problem, cfg.seed + r);
+    all_random.addTimed(bo::MfboSynthesizer(random_only), problem,
+                        cfg.seed + r);
   }
+  bench::writeArtifact(cfg, "ablation_msp", runs,
+                       {&with_scatter, &all_random});
 
   std::printf("# Ablation: MSP incumbent scatter (8-d constrained "
               "quadratic, budget %.0f, %zu runs)\n",
@@ -54,12 +52,12 @@ int main(int argc, char** argv) {
               problem.optimalValue());
   std::printf("%-34s %10s %10s %10s %12s\n", "start policy", "mean f",
               "median f", "worst f", "avg #sim");
-  const auto sp = linalg::summarizeRuns(best_paper, true);
-  const auto sr = linalg::summarizeRuns(best_random, true);
+  const auto sp = with_scatter.summary(true);
+  const auto sr = all_random.summary(true);
   std::printf("%-34s %10.4f %10.4f %10.4f %12.1f\n",
               "10% tau_l + 40% tau_h (paper)", sp.mean, sp.median, sp.worst,
-              linalg::mean(cost_paper));
+              with_scatter.avgSims());
   std::printf("%-34s %10.4f %10.4f %10.4f %12.1f\n", "all random",
-              sr.mean, sr.median, sr.worst, linalg::mean(cost_random));
+              sr.mean, sr.median, sr.worst, all_random.avgSims());
   return 0;
 }

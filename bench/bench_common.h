@@ -4,17 +4,26 @@
 //   --quick      scaled-down budgets/run counts (default; finishes on a
 //                single core in minutes)
 //   --full       the paper's budgets and repetition counts
-//   --runs N     override the repetition count
+//   --runs N     override the repetition count (positive integer)
 //   --seed S     base RNG seed (run r uses S + r)
+//   --out FILE   write a machine-readable JSON artifact with the per-run
+//                results and a telemetry metrics snapshot
+//   --help       print usage and exit
 #pragma once
 
+#include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bo/result.h"
+#include "common/json.h"
+#include "common/telemetry.h"
 #include "linalg/stats.h"
 
 namespace mfbo::bench {
@@ -23,6 +32,7 @@ struct BenchConfig {
   bool full = false;
   std::size_t runs_override = 0;  // 0 = use mode default
   std::uint64_t seed = 1000;
+  std::string out;  // artifact path; empty = no artifact
 
   std::size_t runs(std::size_t quick_default, std::size_t full_default) const {
     if (runs_override > 0) return runs_override;
@@ -31,24 +41,51 @@ struct BenchConfig {
   double scale(double quick_value, double full_value) const {
     return full ? full_value : quick_value;
   }
+  const char* mode() const { return full ? "full" : "quick"; }
 };
+
+inline void printUsage(std::FILE* stream, const char* prog) {
+  std::fprintf(stream,
+               "usage: %s [--quick|--full] [--runs N] [--seed S] "
+               "[--out FILE] [--help]\n",
+               prog);
+}
 
 inline BenchConfig parseArgs(int argc, char** argv) {
   BenchConfig cfg;
+  auto fail = [&](const char* why, const char* what) {
+    std::fprintf(stderr, "%s: %s '%s'\n", argv[0], why, what);
+    printUsage(stderr, argv[0]);
+    std::exit(2);
+  };
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      printUsage(stdout, argv[0]);
+      std::exit(0);
+    } else if (std::strcmp(argv[i], "--full") == 0) {
       cfg.full = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       cfg.full = false;
-    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
-      cfg.runs_override = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--runs") == 0) {
+      if (i + 1 >= argc) fail("missing value for", argv[i]);
+      char* end = nullptr;
+      const long long n = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n <= 0)
+        fail("--runs wants a positive integer, got", argv[i]);
+      cfg.runs_override = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (i + 1 >= argc) fail("missing value for", argv[i]);
+      char* end = nullptr;
+      const unsigned long long s = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0')
+        fail("--seed wants a non-negative integer, got", argv[i]);
+      cfg.seed = s;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) fail("missing value for", argv[i]);
+      cfg.out = argv[++i];
+      if (cfg.out.empty()) fail("--out wants a file path, got", "");
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--quick|--full] [--runs N] [--seed S]\n",
-                   argv[0]);
-      std::exit(2);
+      fail("unknown argument", argv[i]);
     }
   }
   return cfg;
@@ -68,15 +105,17 @@ struct AlgoStats {
   std::string name;
   std::vector<double> objectives{};    // best feasible objective per run
   std::vector<double> reach_costs{};   // cost to reach it per run
+  std::vector<double> wall_times{};    // wall-clock seconds per run
   std::size_t successes = 0;         // runs that found a feasible design
   std::size_t total_runs = 0;
   bo::SynthesisResult median_result{}; // the run with the median objective
 
-  void add(const bo::SynthesisResult& r) {
+  void add(const bo::SynthesisResult& r, double wall_seconds = 0.0) {
     ++total_runs;
     if (r.feasible_found) ++successes;
     objectives.push_back(r.best_eval.objective);
     reach_costs.push_back(costToReachBest(r));
+    wall_times.push_back(wall_seconds);
     // Keep the run whose objective is currently the median (approximate:
     // recompute by storing all would cost memory; keep best-so-far median
     // by distance to running median).
@@ -87,11 +126,76 @@ struct AlgoStats {
       median_result = r;
   }
 
+  /// Run `synthesizer.run(problem, seed)`, recording its wall time.
+  template <class Synthesizer, class ProblemT>
+  void addTimed(const Synthesizer& synthesizer, ProblemT& problem,
+                std::uint64_t seed) {
+    const auto start = std::chrono::steady_clock::now();
+    bo::SynthesisResult r = synthesizer.run(problem, seed);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    add(r, elapsed.count());
+  }
+
   linalg::RunSummary summary(bool lower_is_better) const {
     return linalg::summarizeRuns(objectives, lower_is_better);
   }
   double avgSims() const { return linalg::mean(reach_costs); }
+
+  Json toJson() const {
+    Json j = Json::object();
+    j.set("name", name);
+    j.set("objectives", Json::numberArray(objectives));
+    j.set("reach_costs", Json::numberArray(reach_costs));
+    j.set("wall_times", Json::numberArray(wall_times));
+    j.set("successes", successes);
+    j.set("total_runs", total_runs);
+    return j;
+  }
 };
+
+/// Common artifact preamble: bench identity, mode, runs, seed.
+inline Json artifactHeader(const BenchConfig& cfg, const std::string& bench,
+                           std::size_t runs) {
+  Json doc = Json::object();
+  doc.set("bench", bench);
+  doc.set("mode", cfg.mode());
+  doc.set("runs", runs);
+  doc.set("seed", Json::number(static_cast<double>(cfg.seed)));
+  return doc;
+}
+
+/// Write @p doc (with a telemetry metrics snapshot appended) to the --out
+/// path. Exits with an error when the file cannot be written — a bench
+/// asked for an artifact it silently failed to produce would poison
+/// downstream comparisons. No-op when --out was not given.
+inline void writeArtifactFile(const BenchConfig& cfg, Json doc) {
+  if (cfg.out.empty()) return;
+  doc.set("metrics", telemetry::metricsSnapshot());
+  std::FILE* f = std::fopen(cfg.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open artifact file '%s'\n", cfg.out.c_str());
+    std::exit(1);
+  }
+  const std::string text = doc.dump();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote artifact %s\n", cfg.out.c_str());
+}
+
+/// The standard table/ablation artifact: header + per-algorithm per-run
+/// results + metrics snapshot.
+inline void writeArtifact(const BenchConfig& cfg, const std::string& bench,
+                          std::size_t runs,
+                          const std::vector<const AlgoStats*>& algos) {
+  if (cfg.out.empty()) return;
+  Json doc = artifactHeader(cfg, bench, runs);
+  Json list = Json::array();
+  for (const AlgoStats* a : algos) list.push(a->toJson());
+  doc.set("algorithms", list);
+  writeArtifactFile(cfg, std::move(doc));
+}
 
 inline void printRule(int width = 72) {
   for (int i = 0; i < width; ++i) std::putchar('-');

@@ -9,6 +9,7 @@
 // the full cascade should win.
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "bench_common.h"
 #include "gp/gp_regressor.h"
@@ -33,7 +34,7 @@ double level2(double x) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)bench::parseArgs(argc, argv);
+  const bench::BenchConfig bench_cfg = bench::parseArgs(argc, argv);
 
   // Sample budgets decay with fidelity, as costs would dictate.
   const std::size_t n0 = 40, n1 = 20, n2 = 8;
@@ -91,5 +92,11 @@ int main(int argc, char** argv) {
       "# fidelity. Routing through it (3-level) wins; skipping it (2-level)\n"
       "# can even cause negative transfer — the misleading y_l coordinate\n"
       "# corrupts the sparse top-level GP below the single-fidelity line.\n");
+
+  Json doc = bench::artifactHeader(bench_cfg, "extension_multilevel", 1);
+  doc.set("rmse_three_level", rmse3);
+  doc.set("rmse_two_level", rmse2);
+  doc.set("rmse_single_fidelity", rmse1);
+  bench::writeArtifactFile(bench_cfg, std::move(doc));
   return 0;
 }

@@ -9,6 +9,7 @@
 // on the high-fidelity points alone.
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "bench_common.h"
 #include "gp/gp_regressor.h"
@@ -18,7 +19,6 @@
 int main(int argc, char** argv) {
   using namespace mfbo;
   const bench::BenchConfig cfg = bench::parseArgs(argc, argv);
-  (void)cfg;
 
   // Training sets: a dense cheap design plus a sparse expensive one
   // (half-offset grids; see problems::pedagogical*).
@@ -80,5 +80,12 @@ int main(int argc, char** argv) {
               std::sqrt(sf_se / n), 100.0 * static_cast<double>(sf_cover) / n);
   std::printf("RMSE ratio (SF/MF): %.1fx\n",
               std::sqrt(sf_se / std::max(mf_se, 1e-300)));
+
+  Json doc = bench::artifactHeader(cfg, "fig1_pedagogical", 1);
+  doc.set("mf_rmse", std::sqrt(mf_se / n));
+  doc.set("sf_rmse", std::sqrt(sf_se / n));
+  doc.set("mf_coverage", static_cast<double>(mf_cover) / n);
+  doc.set("sf_coverage", static_cast<double>(sf_cover) / n);
+  bench::writeArtifactFile(cfg, std::move(doc));
   return 0;
 }

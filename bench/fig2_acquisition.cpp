@@ -8,6 +8,7 @@
 // comparing |dEI/dx| near the incumbent with the domain-wide maximum.
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "bench_common.h"
 #include "bo/acquisition.h"
@@ -16,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace mfbo;
-  (void)bench::parseArgs(argc, argv);
+  const bench::BenchConfig cfg = bench::parseArgs(argc, argv);
 
   const std::size_t n_low = 40, n_high = 15;
   std::vector<linalg::Vector> x_low, x_high;
@@ -80,5 +81,12 @@ int main(int argc, char** argv) {
                 delta, nearby, 100.0 * nearby / std::max(ei_max, 1e-300));
   }
   std::printf("global max EI         : %.3e\n", ei_max);
+
+  Json doc = bench::artifactHeader(cfg, "fig2_acquisition", 1);
+  doc.set("tau", tau);
+  doc.set("tau_x", tau_x);
+  doc.set("ei_at_tau", ei_at(tau_x));
+  doc.set("ei_max", ei_max);
+  bench::writeArtifactFile(cfg, std::move(doc));
   return 0;
 }

@@ -8,6 +8,7 @@
 // AR(1) cokriging.
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "bench_common.h"
 #include "problems/power_amplifier.h"
@@ -63,5 +64,13 @@ int main(int argc, char** argv) {
   std::printf("residual RMS    : %.3f%% efficiency  (nonzero ⇒ the map is\n"
               "                  nonlinear; NARGP's z(-) has work to do)\n",
               std::sqrt(ss_res / n));
+
+  Json doc = bench::artifactHeader(cfg, "fig3_correlation", 1);
+  doc.set("eff_low", Json::numberArray(lo));
+  doc.set("eff_high", Json::numberArray(hi));
+  doc.set("fit_slope", a);
+  doc.set("fit_intercept", b);
+  doc.set("r2", r2);
+  bench::writeArtifactFile(cfg, std::move(doc));
   return 0;
 }

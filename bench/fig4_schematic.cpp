@@ -8,6 +8,7 @@
 // paper's figure: bias mirrors from the i10u/i5u pins, cascoded M1 (PMOS
 // source) and M2 (NMOS sink), UP/DN steering switches, and dump branches.
 #include <cstdio>
+#include <utility>
 
 #include "bench_common.h"
 #include "circuit/parser.h"
@@ -16,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace mfbo;
-  (void)bench::parseArgs(argc, argv);
+  const bench::BenchConfig cfg = bench::parseArgs(argc, argv);
 
   problems::ChargePumpProblem cp;
   const bo::Vector x = cp.referenceDesign();
@@ -85,5 +86,10 @@ int main(int argc, char** argv) {
   std::printf("%-18s %10.2f %10.2f\n", "deviation", lo.deviation,
               hi.deviation);
   std::printf("%-18s %10.2f %10.2f\n", "FOM", lo.fom, hi.fom);
+
+  Json doc = bench::artifactHeader(cfg, "fig4_schematic", 1);
+  doc.set("fom_low", lo.fom);
+  doc.set("fom_high", hi.fom);
+  bench::writeArtifactFile(cfg, std::move(doc));
   return 0;
 }

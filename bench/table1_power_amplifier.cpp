@@ -58,15 +58,17 @@ int main(int argc, char** argv) {
                cfg.full ? "full" : "quick");
   for (std::size_t r = 0; r < runs; ++r) {
     const std::uint64_t seed = cfg.seed + r;
-    ours.add(bo::MfboSynthesizer(mfbo_opt).run(problem, seed));
+    ours.addTimed(bo::MfboSynthesizer(mfbo_opt), problem, seed);
     std::fprintf(stderr, "  run %zu: ours done\n", r);
-    weibo.add(bo::Weibo(weibo_opt).run(problem, seed));
+    weibo.addTimed(bo::Weibo(weibo_opt), problem, seed);
     std::fprintf(stderr, "  run %zu: weibo done\n", r);
-    gaspad.add(bo::Gaspad(gaspad_opt).run(problem, seed));
+    gaspad.addTimed(bo::Gaspad(gaspad_opt), problem, seed);
     std::fprintf(stderr, "  run %zu: gaspad done\n", r);
-    de.add(bo::DeBaseline(de_opt).run(problem, seed));
+    de.addTimed(bo::DeBaseline(de_opt), problem, seed);
     std::fprintf(stderr, "  run %zu: de done\n", r);
   }
+  bench::writeArtifact(cfg, "table1_power_amplifier", runs,
+                       {&ours, &weibo, &gaspad, &de});
 
   std::printf("# Table 1: optimization results of the power amplifier\n");
   std::printf("# %zu runs, %s budgets (ours/weibo %.0f, gaspad/de %.0f)\n",

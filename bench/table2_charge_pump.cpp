@@ -54,15 +54,17 @@ int main(int argc, char** argv) {
                cfg.full ? "full" : "quick");
   for (std::size_t r = 0; r < runs; ++r) {
     const std::uint64_t seed = cfg.seed + 100 + r;
-    ours.add(bo::MfboSynthesizer(mfbo_opt).run(problem, seed));
+    ours.addTimed(bo::MfboSynthesizer(mfbo_opt), problem, seed);
     std::fprintf(stderr, "  run %zu: ours done\n", r);
-    weibo.add(bo::Weibo(weibo_opt).run(problem, seed));
+    weibo.addTimed(bo::Weibo(weibo_opt), problem, seed);
     std::fprintf(stderr, "  run %zu: weibo done\n", r);
-    gaspad.add(bo::Gaspad(gaspad_opt).run(problem, seed));
+    gaspad.addTimed(bo::Gaspad(gaspad_opt), problem, seed);
     std::fprintf(stderr, "  run %zu: gaspad done\n", r);
-    de.add(bo::DeBaseline(de_opt).run(problem, seed));
+    de.addTimed(bo::DeBaseline(de_opt), problem, seed);
     std::fprintf(stderr, "  run %zu: de done\n", r);
   }
+  bench::writeArtifact(cfg, "table2_charge_pump", runs,
+                       {&ours, &weibo, &gaspad, &de});
 
   std::printf("# Table 2: optimization results of the charge pump\n");
   std::printf("# %zu runs, %s budgets\n", runs, cfg.full ? "paper" : "quick");

@@ -5,11 +5,14 @@
 // 27 PVT corners. High fidelity = all corners; low fidelity = the nominal
 // corner only (27× cheaper).
 //
-// Usage: ./charge_pump_synthesis [budget] [seed]
-//   budget — equivalent high-fidelity simulations (default 60)
-//   seed   — RNG seed (default 1)
+// Usage: ./charge_pump_synthesis [--verbose] [budget] [seed]
+//   --verbose — print one progress line per BO iteration to stderr
+//   budget    — equivalent high-fidelity simulations (default 60)
+//   seed      — RNG seed (default 1)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "bo/mfbo.h"
 #include "problems/charge_pump.h"
@@ -17,8 +20,17 @@
 int main(int argc, char** argv) {
   using namespace mfbo;
 
-  const double budget = argc > 1 ? std::atof(argv[1]) : 60.0;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  bool verbose = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0)
+      verbose = true;
+    else
+      pos.push_back(argv[i]);
+  }
+  const double budget = !pos.empty() ? std::atof(pos[0]) : 60.0;
+  const std::uint64_t seed =
+      pos.size() > 1 ? std::strtoull(pos[1], nullptr, 10) : 1;
 
   problems::ChargePumpProblem problem;
 
@@ -27,6 +39,7 @@ int main(int argc, char** argv) {
   options.n_init_high = 10;  // paper: 10 high-fidelity initial points
   options.budget = budget;
   options.retrain_every = 3;  // 36-dim GPs retrain less frequently
+  if (verbose) options.observer = bo::stderrProgressObserver();
 
   std::printf("synthesizing charge pump (budget %.0f equivalent sims, "
               "seed %llu)...\n",

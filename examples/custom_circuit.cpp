@@ -9,10 +9,13 @@
 // the actual fundamental gain (and distortion-aware, since clipping
 // reduces it).
 //
-// Usage: ./custom_circuit [budget]
+// Usage: ./custom_circuit [--verbose] [budget]
+//   --verbose — print one progress line per BO iteration to stderr
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "bo/mfbo.h"
 #include "circuit/measure.h"
@@ -116,7 +119,15 @@ bo::Evaluation evaluateAmplifier(const bo::Vector& x, bo::Fidelity fidelity) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double budget = argc > 1 ? std::atof(argv[1]) : 30.0;
+  bool verbose = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0)
+      verbose = true;
+    else
+      pos.push_back(argv[i]);
+  }
+  const double budget = !pos.empty() ? std::atof(pos[0]) : 30.0;
 
   problems::LambdaProblem problem(
       "two-stage-amplifier",
@@ -128,6 +139,7 @@ int main(int argc, char** argv) {
   options.n_init_low = 16;
   options.n_init_high = 5;
   options.budget = budget;
+  if (verbose) options.observer = bo::stderrProgressObserver();
 
   std::printf("sizing two-stage amplifier (budget %.0f)...\n", budget);
   const bo::SynthesisResult r =

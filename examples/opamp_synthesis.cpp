@@ -5,9 +5,11 @@
 // fidelity a full AC sweep. Maximize DC gain subject to UGF > 20 MHz,
 // PM > 60° and power < 1 mW.
 //
-// Usage: ./opamp_synthesis [budget] [seed]
+// Usage: ./opamp_synthesis [--verbose] [budget] [seed]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "bo/mfbo.h"
 #include "problems/opamp.h"
@@ -15,8 +17,17 @@
 int main(int argc, char** argv) {
   using namespace mfbo;
 
-  const double budget = argc > 1 ? std::atof(argv[1]) : 30.0;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  bool verbose = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0)
+      verbose = true;
+    else
+      pos.push_back(argv[i]);
+  }
+  const double budget = !pos.empty() ? std::atof(pos[0]) : 30.0;
+  const std::uint64_t seed =
+      pos.size() > 1 ? std::strtoull(pos[1], nullptr, 10) : 1;
 
   problems::OpampProblem problem;
 
@@ -25,6 +36,7 @@ int main(int argc, char** argv) {
   options.n_init_high = 6;
   options.budget = budget;
   options.retrain_every = 2;
+  if (verbose) options.observer = bo::stderrProgressObserver();
 
   std::printf("synthesizing two-stage op-amp (budget %.0f, seed %llu)...\n",
               budget, static_cast<unsigned long long>(seed));

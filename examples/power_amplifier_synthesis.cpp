@@ -5,11 +5,14 @@
 // The low fidelity is a 20×-cheaper short transient; Algorithm 1 decides
 // per query point which fidelity to spend.
 //
-// Usage: ./power_amplifier_synthesis [budget] [seed]
-//   budget — equivalent high-fidelity simulations (default 40)
-//   seed   — RNG seed (default 1)
+// Usage: ./power_amplifier_synthesis [--verbose] [budget] [seed]
+//   --verbose — print one progress line per BO iteration to stderr
+//   budget    — equivalent high-fidelity simulations (default 40)
+//   seed      — RNG seed (default 1)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "bo/mfbo.h"
 #include "problems/power_amplifier.h"
@@ -17,8 +20,17 @@
 int main(int argc, char** argv) {
   using namespace mfbo;
 
-  const double budget = argc > 1 ? std::atof(argv[1]) : 40.0;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  bool verbose = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0)
+      verbose = true;
+    else
+      pos.push_back(argv[i]);
+  }
+  const double budget = !pos.empty() ? std::atof(pos[0]) : 40.0;
+  const std::uint64_t seed =
+      pos.size() > 1 ? std::strtoull(pos[1], nullptr, 10) : 1;
 
   problems::PowerAmplifierProblem problem;
 
@@ -27,6 +39,7 @@ int main(int argc, char** argv) {
   options.n_init_high = 5;   // paper: 5 high-fidelity initial points
   options.budget = budget;
   options.retrain_every = 2;
+  if (verbose) options.observer = bo::stderrProgressObserver();
 
   std::printf("synthesizing power amplifier (budget %.0f equivalent sims, "
               "seed %llu)...\n",

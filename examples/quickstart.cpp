@@ -6,15 +6,21 @@
 // fraction of the high-fidelity evaluations a single-fidelity optimizer
 // needs.
 //
-// Build & run:  ./quickstart
+// Build & run:  ./quickstart [--verbose]
+//   --verbose — print one progress line per BO iteration to stderr
 #include <cstdio>
+#include <cstring>
 
 #include "bo/mfbo.h"
 #include "bo/weibo.h"
 #include "problems/synthetic.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mfbo;
+
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
 
   problems::ForresterProblem problem;
 
@@ -24,6 +30,7 @@ int main() {
   options.n_init_low = 12;
   options.n_init_high = 4;
   options.budget = 15.0;
+  if (verbose) options.observer = bo::stderrProgressObserver();
 
   bo::MfboSynthesizer mfbo(options);
   const bo::SynthesisResult result = mfbo.run(problem, /*seed=*/42);
@@ -42,6 +49,7 @@ int main() {
   bo::WeiboOptions wopt;
   wopt.n_init = 8;
   wopt.max_sims = 15.0;
+  if (verbose) wopt.observer = bo::stderrProgressObserver();
   const bo::SynthesisResult sf = bo::Weibo(wopt).run(problem, 42);
   std::printf("\nWEIBO (single-fidelity) at the same budget: f = %.5f\n",
               sf.best_eval.objective);

@@ -2,11 +2,113 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
+#include "common/json.h"
+#include "common/telemetry.h"
 
 namespace mfbo::bo {
+
+namespace {
+
+Json vectorToJson(const Vector& v) { return Json::numberArray(v); }
+
+/// Number field that serializes NaN (field not applicable) as null.
+Json numberOrNull(double v) {
+  return std::isfinite(v) ? Json::number(v) : Json::null();
+}
+
+Json iterationToJson(const IterationRecord& r) {
+  Json e = Json::object();
+  e.set("type", "iteration");
+  e.set("algo", std::string(r.algo));
+  e.set("iter", r.iteration);
+  e.set("fidelity", fidelityName(r.fidelity));
+  e.set("downgraded", r.downgraded);
+  e.set("retrained", r.retrained);
+  e.set("first_feasible_phase", r.first_feasible_phase);
+  e.set("acq", numberOrNull(r.acquisition));
+  e.set("tau_l", numberOrNull(r.tau_l));
+  e.set("tau_h", numberOrNull(r.tau_h));
+  e.set("max_norm_var", numberOrNull(r.max_norm_var));
+  e.set("threshold", numberOrNull(r.threshold));
+  e.set("norm_low_var", r.norm_low_var.empty()
+                            ? Json::null()
+                            : Json::numberArray(r.norm_low_var));
+  e.set("x_star_l",
+        r.x_star_l != nullptr ? vectorToJson(*r.x_star_l) : Json::null());
+  e.set("x", r.x != nullptr ? vectorToJson(*r.x) : Json::null());
+  if (r.eval != nullptr) {
+    e.set("objective", numberOrNull(r.eval->objective));
+    e.set("constraints", Json::numberArray(r.eval->constraints));
+    e.set("feasible", r.eval->feasible());
+  } else {
+    e.set("objective", Json::null());
+    e.set("constraints", Json::null());
+    e.set("feasible", Json::null());
+  }
+  e.set("best_objective", numberOrNull(r.best_objective));
+  e.set("feasible_found", r.feasible_found);
+  e.set("cost", r.cumulative_cost);
+  return e;
+}
+
+}  // namespace
+
+bool iterationWanted(const IterationObserver& observer) {
+  return static_cast<bool>(observer) || telemetry::traceEnabled();
+}
+
+void publishIteration(const IterationRecord& record,
+                      const IterationObserver& observer) {
+  if (observer) observer(record);
+  if (telemetry::traceEnabled())
+    telemetry::emitTrace(iterationToJson(record));
+}
+
+void traceRunStart(std::string_view algo, const Problem& problem,
+                   std::uint64_t seed, double budget) {
+  if (!telemetry::traceEnabled()) return;
+  Json e = Json::object();
+  e.set("type", "run_start");
+  e.set("algo", std::string(algo));
+  e.set("problem", problem.name());
+  e.set("dim", problem.dim());
+  e.set("num_constraints", problem.numConstraints());
+  e.set("cost_ratio", problem.costRatio());
+  e.set("budget", budget);
+  e.set("seed", Json::number(static_cast<double>(seed)));
+  telemetry::emitTrace(e);
+}
+
+void traceRunEnd(std::string_view algo, const SynthesisResult& result) {
+  if (!telemetry::traceEnabled()) return;
+  Json e = Json::object();
+  e.set("type", "run_end");
+  e.set("algo", std::string(algo));
+  e.set("best_objective", numberOrNull(result.best_eval.objective));
+  e.set("feasible_found", result.feasible_found);
+  e.set("n_low", result.n_low);
+  e.set("n_high", result.n_high);
+  e.set("equivalent_high_sims", result.equivalent_high_sims);
+  telemetry::emitTrace(e);
+}
+
+IterationObserver stderrProgressObserver() {
+  return [](const IterationRecord& r) {
+    std::fprintf(stderr,
+                 "[%-6.*s it %4zu] fid=%-4s cost=%8.2f best=%.6g "
+                 "feasible=%s%s%s\n",
+                 static_cast<int>(r.algo.size()), r.algo.data(), r.iteration,
+                 fidelityName(r.fidelity), r.cumulative_cost,
+                 r.best_objective, r.feasible_found ? "yes" : "no",
+                 r.first_feasible_phase ? " [first-feasible]" : "",
+                 r.downgraded ? " [downgraded]" : "");
+  };
+}
 
 std::optional<std::size_t> Dataset::bestFeasible() const {
   std::optional<std::size_t> best;
@@ -92,6 +194,30 @@ Vector maximizeAcquisitionMsp(const opt::ScalarObjective& acquisition,
   opt::MultistartOptions ms;
   ms.local = options.local;
   const opt::OptResult r = opt::multistartMinimize(negated, starts, box, ms);
+
+  // Attribute the winning start to its provenance — the §4.1 placement
+  // policy (random LHS / τ_l scatter / τ_h scatter / caller-provided seeds
+  // such as x*_l) is only worth its cost if the non-random starts win.
+  // composeStarts lays the list out as [random | τ_l | τ_h | extra].
+  static telemetry::Counter& won_random =
+      telemetry::counter("bo.msp.best_start_random");
+  static telemetry::Counter& won_tau_l =
+      telemetry::counter("bo.msp.best_start_tau_l");
+  static telemetry::Counter& won_tau_h =
+      telemetry::counter("bo.msp.best_start_tau_h");
+  static telemetry::Counter& won_seed =
+      telemetry::counter("bo.msp.best_start_seed");
+  const std::size_t tau_l_end = n_random + n_tau_l;  // n_tau_* are already 0
+  const std::size_t tau_h_end = tau_l_end + n_tau_h;  // without an incumbent
+  if (r.best_start < n_random) {
+    won_random.add();
+  } else if (r.best_start < tau_l_end) {
+    won_tau_l.add();
+  } else if (r.best_start < tau_h_end) {
+    won_tau_h.add();
+  } else {
+    won_seed.add();
+  }
   return r.x;
 }
 

@@ -3,7 +3,11 @@
 // acquisition maximizer.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "bo/problem.h"
@@ -14,6 +18,66 @@
 namespace mfbo::bo {
 
 using linalg::Rng;
+
+/// Short lowercase name for trace events and progress lines.
+inline const char* fidelityName(Fidelity f) {
+  return f == Fidelity::kHigh ? "high" : "low";
+}
+
+/// Snapshot of one synthesis-loop iteration, published to the optional
+/// IterationObserver callback and — when a telemetry::TraceSink is
+/// installed — serialized as one JSONL `iteration` event. Pointer members
+/// reference the algorithm's internal state and are valid only for the
+/// duration of the callback. Fields that do not apply to an algorithm stay
+/// at their NaN / null defaults (e.g. only MFBO fills the eq. (11)/(12)
+/// fidelity-decision fields).
+struct IterationRecord {
+  static constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+  std::string_view algo;        ///< "mfbo", "weibo", "gaspad", "de"
+  std::size_t iteration = 0;    ///< 1-based loop iteration
+  Fidelity fidelity = Fidelity::kHigh;  ///< fidelity evaluated this iteration
+  bool downgraded = false;      ///< high→low forced by the remaining budget
+  bool retrained = false;       ///< hyperparameters re-optimized afterwards
+  bool first_feasible_phase = false;  ///< eq. (13) criterion replaced wEI
+  double acquisition = kNan;    ///< acquisition / criterion value at x
+  double tau_l = kNan;          ///< low-fidelity incumbent objective
+  double tau_h = kNan;          ///< high-fidelity incumbent objective
+  double max_norm_var = kNan;   ///< eq. (11) LHS: max normalized low var
+  double threshold = kNan;      ///< eq. (12) RHS: (1+Nc)·γ
+  /// Per-output normalized low-fidelity variance at x (objective first).
+  std::vector<double> norm_low_var;
+  double cumulative_cost = 0.0;  ///< equivalent high-fidelity sims so far
+  double best_objective = kNan;  ///< best-so-far high-fidelity objective
+  bool feasible_found = false;   ///< a feasible high-fidelity point exists
+  const Vector* x_star_l = nullptr;  ///< MFBO step-5 maximizer (unit cube)
+  const Vector* x = nullptr;         ///< evaluated point (real coordinates)
+  const Evaluation* eval = nullptr;  ///< its evaluation
+};
+
+/// Per-iteration progress callback. Invoked after the iteration's
+/// evaluation, before the surrogate update.
+using IterationObserver = std::function<void(const IterationRecord&)>;
+
+/// True when building an IterationRecord is worthwhile: an observer is set
+/// or a trace sink is installed. Keeps untraced runs free of bookkeeping.
+bool iterationWanted(const IterationObserver& observer);
+
+/// Invoke @p observer (when set) and emit the JSONL `iteration` trace event
+/// (when a sink is installed).
+void publishIteration(const IterationRecord& record,
+                      const IterationObserver& observer);
+
+/// Emit a `run_start` trace event (no-op without a sink).
+void traceRunStart(std::string_view algo, const Problem& problem,
+                   std::uint64_t seed, double budget);
+
+/// Emit a `run_end` trace event (no-op without a sink).
+void traceRunEnd(std::string_view algo, const SynthesisResult& result);
+
+/// Ready-made observer printing one progress line per iteration to stderr
+/// (the examples' --verbose flag).
+IterationObserver stderrProgressObserver();
 
 /// Archive of evaluated points for one fidelity level. Inputs are stored in
 /// normalized unit-cube coordinates (the GPs see exactly these).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace mfbo::bo {
 
@@ -23,6 +24,11 @@ SynthesisResult DeBaseline::run(Problem& problem, std::uint64_t seed) const {
   MFBO_CHECK(d > 0, "problem has zero dimensions");
   const Box box = problem.bounds();
   Rng rng(seed);
+  traceRunStart("de", problem, seed, options_.max_sims);
+  static telemetry::Counter& generations_total =
+      telemetry::counter("bo.de.generations");
+  static telemetry::Counter& replacements_total =
+      telemetry::counter("bo.de.replacements");
 
   CostTracker tracker(problem.costRatio());
   std::vector<HistoryEntry> history;
@@ -43,7 +49,10 @@ SynthesisResult DeBaseline::run(Problem& problem, std::uint64_t seed) const {
   for (std::size_t i = 0; i < np && budget_left(); ++i)
     evals[i] = evaluate(pop[i]);
 
+  std::size_t generation = 0;
   while (budget_left()) {
+    ++generation;
+    generations_total.add();
     for (std::size_t i = 0; i < np && budget_left(); ++i) {
       const auto picks = rng.distinctIndices(3, np, i);
       const Vector& a = pop[picks[0]];
@@ -60,11 +69,31 @@ SynthesisResult DeBaseline::run(Problem& problem, std::uint64_t seed) const {
       if (dominatesByDeb(trial_eval, evals[i])) {
         pop[i] = std::move(trial);
         evals[i] = trial_eval;
+        replacements_total.add();
       }
+    }
+
+    // One progress record per generation (every trial costs a simulation,
+    // so per-trial events would dwarf the BO algorithms' traces).
+    if (iterationWanted(options_.observer) && !history.empty()) {
+      IterationRecord rec;
+      rec.algo = "de";
+      rec.iteration = generation;
+      rec.fidelity = Fidelity::kHigh;
+      rec.cumulative_cost = tracker.cost();
+      rec.x = &history.back().x;
+      rec.eval = &history.back().eval;
+      if (const auto best = bestHighIndex(history)) {
+        rec.best_objective = history[*best].eval.objective;
+        rec.feasible_found = history[*best].eval.feasible();
+      }
+      publishIteration(rec, options_.observer);
     }
   }
 
-  return finalizeResult(std::move(history), tracker);
+  SynthesisResult result = finalizeResult(std::move(history), tracker);
+  traceRunEnd("de", result);
+  return result;
 }
 
 }  // namespace mfbo::bo

@@ -16,6 +16,8 @@ struct DeBaselineOptions {
   double max_sims = 300.0;   ///< simulation budget including initialization
   double differential = 0.7;
   double crossover = 0.8;
+  /// Optional progress callback, invoked once per DE generation.
+  IterationObserver observer;
 };
 
 class DeBaseline {

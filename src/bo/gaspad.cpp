@@ -7,6 +7,7 @@
 
 #include "bo/acquisition.h"
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace mfbo::bo {
 
@@ -37,6 +38,11 @@ SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
   const Box real_box = problem.bounds();
   const Box unit = Box::unitCube(d);
   Rng rng(seed);
+  traceRunStart("gaspad", problem, seed, options_.max_sims);
+  static telemetry::Counter& iterations_total =
+      telemetry::counter("bo.gaspad.iterations");
+  static telemetry::Counter& children_total =
+      telemetry::counter("bo.gaspad.children_screened");
 
   CostTracker tracker(problem.costRatio());
   std::vector<HistoryEntry> history;
@@ -73,6 +79,7 @@ SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
   std::size_t iteration = 0;
   while (tracker.cost() + 1.0 <= options_.max_sims + 1e-9) {
     ++iteration;
+    iterations_total.add();
     // Elite parent pool.
     const auto order = meritOrder(data);
     const std::size_t pop =
@@ -126,10 +133,32 @@ SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
       }
     }
 
+    children_total.add(children.size());
     evaluate(dedupeCandidate(std::move(best_child), data, unit, rng));
 
     const bool retrain = options_.retrain_every <= 1 ||
                          iteration % options_.retrain_every == 0;
+
+    if (iterationWanted(options_.observer)) {
+      IterationRecord rec;
+      rec.algo = "gaspad";
+      rec.iteration = iteration;
+      rec.fidelity = Fidelity::kHigh;
+      rec.retrained = retrain;
+      // LCB pre-screening key of the simulated child (objective LCB when
+      // optimistically feasible, otherwise the optimistic violation).
+      rec.acquisition = best_key;
+      rec.first_feasible_phase = !best_optimistic_feasible;
+      rec.cumulative_cost = tracker.cost();
+      rec.x = &history.back().x;
+      rec.eval = &history.back().eval;
+      if (const auto best = bestHighIndex(history)) {
+        rec.best_objective = history[*best].eval.objective;
+        rec.feasible_found = history[*best].eval.feasible();
+      }
+      publishIteration(rec, options_.observer);
+    }
+
     if (retrain) {
       fit_all();
     } else {
@@ -140,7 +169,9 @@ SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
     }
   }
 
-  return finalizeResult(std::move(history), tracker);
+  SynthesisResult result = finalizeResult(std::move(history), tracker);
+  traceRunEnd("gaspad", result);
+  return result;
 }
 
 }  // namespace mfbo::bo

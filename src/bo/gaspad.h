@@ -22,6 +22,8 @@ struct GaspadOptions {
   double crossover = 0.8;       ///< DE CR
   gp::GpConfig gp;
   std::size_t retrain_every = 1;
+  /// Optional per-iteration progress callback (live streaming, --verbose).
+  IterationObserver observer;
 };
 
 class Gaspad {

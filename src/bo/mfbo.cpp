@@ -4,6 +4,7 @@
 
 #include "bo/acquisition.h"
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace mfbo::bo {
 
@@ -26,6 +27,13 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
   const Box unit = Box::unitCube(d);
   const double ratio = problem.costRatio();
   Rng rng(seed);
+  traceRunStart("mfbo", problem, seed, options_.budget);
+  static telemetry::Counter& iterations_total =
+      telemetry::counter("bo.mfbo.iterations");
+  static telemetry::Counter& downgrades_total =
+      telemetry::counter("bo.mfbo.budget_downgrades");
+  static telemetry::Timer& iteration_timer =
+      telemetry::timer("bo.mfbo.iteration_seconds");
 
   CostTracker tracker(ratio);
   std::vector<HistoryEntry> history;
@@ -85,6 +93,8 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
   // Loop while at least a low-fidelity evaluation still fits the budget.
   while (tracker.cost() + 1.0 / ratio <= options_.budget + 1e-9) {
     ++iteration;
+    iterations_total.add();
+    const telemetry::ScopedTimer iteration_scope(iteration_timer);
     const auto feas_low = low.bestFeasible();
     const auto feas_high = high.bestFeasible();
 
@@ -101,7 +111,9 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
 
     // Step 5: optimize the low-fidelity acquisition → x*_l.
     Vector x_star_l;
-    if (nc > 0 && !feas_low && options_.use_first_feasible) {
+    double tau_l = IterationRecord::kNan;
+    const bool ff_low = nc > 0 && !feas_low && options_.use_first_feasible;
+    if (ff_low) {
       opt::ScalarObjective criterion = [&](const Vector& u) {
         const auto p = low_predictions(u);
         return predictedViolation({p.begin() + 1, p.end()});
@@ -109,8 +121,8 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
       x_star_l = minimizeCriterionMsp(criterion, unit, options_.msp.n_starts,
                                       options_.msp.local, rng);
     } else {
-      const double tau_l = feas_low ? low.evals[*feas_low].objective
-                                    : models[0]->bestLowObserved();
+      tau_l = feas_low ? low.evals[*feas_low].objective
+                       : models[0]->bestLowObserved();
       opt::ScalarObjective acq_low = [&](const Vector& u) {
         const auto p = low_predictions(u);
         return weightedEi(p[0], tau_l, {p.begin() + 1, p.end()});
@@ -127,7 +139,9 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
           x_star_l, options_.msp.relative_sd, unit, rng));
 
     Vector x_t;
-    if (nc > 0 && !feas_high && options_.use_first_feasible) {
+    double tau_h = IterationRecord::kNan;
+    const bool ff_high = nc > 0 && !feas_high && options_.use_first_feasible;
+    if (ff_high) {
       // eq. (13) on the fused high-fidelity posterior means.
       opt::ScalarObjective criterion = [&](const Vector& u) {
         const auto p = high_predictions(u);
@@ -141,8 +155,8 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
       x_t = maximizeAcquisitionMsp(negated, unit, inc_l, inc_h, options_.msp,
                                    rng, seeds);
     } else {
-      const double tau_h = feas_high ? high.evals[*feas_high].objective
-                                     : models[0]->bestHighObserved();
+      tau_h = feas_high ? high.evals[*feas_high].objective
+                        : models[0]->bestHighObserved();
       opt::ScalarObjective acq_high = [&](const Vector& u) {
         const auto p = high_predictions(u);
         return weightedEi(p[0], tau_h, {p.begin() + 1, p.end()});
@@ -153,20 +167,24 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
 
     // Step 7 (§3.4): fidelity selection. Variances are normalized by each
     // low GP's output scale so γ is dimensionless (eq. 11-12).
+    std::vector<double> norm_vars(n_out);
     double max_norm_var = 0.0;
     for (std::size_t i = 0; i < n_out; ++i) {
       const double sd_out = models[i]->lowOutputSd();
-      const double norm_var =
-          models[i]->predictLow(x_t).var / (sd_out * sd_out);
-      max_norm_var = std::max(max_norm_var, norm_var);
+      norm_vars[i] = models[i]->predictLow(x_t).var / (sd_out * sd_out);
+      max_norm_var = std::max(max_norm_var, norm_vars[i]);
     }
     const double threshold = (1.0 + static_cast<double>(nc)) * options_.gamma;
     Fidelity f = max_norm_var < threshold ? Fidelity::kHigh : Fidelity::kLow;
     // Respect the remaining budget: a high-fidelity evaluation that no
     // longer fits is downgraded.
+    bool downgraded = false;
     if (f == Fidelity::kHigh &&
-        tracker.cost() + 1.0 > options_.budget + 1e-9)
+        tracker.cost() + 1.0 > options_.budget + 1e-9) {
       f = Fidelity::kLow;
+      downgraded = true;
+      downgrades_total.add();
+    }
 
     x_t = dedupeCandidate(std::move(x_t), f == Fidelity::kHigh ? high : low,
                           unit, rng);
@@ -175,6 +193,38 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
     // Step 8: update the training sets / surrogates.
     const bool retrain = options_.retrain_every <= 1 ||
                          iteration % options_.retrain_every == 0;
+
+    if (iterationWanted(options_.observer)) {
+      IterationRecord rec;
+      rec.algo = "mfbo";
+      rec.iteration = iteration;
+      rec.fidelity = f;
+      rec.downgraded = downgraded;
+      rec.retrained = retrain;
+      rec.first_feasible_phase = ff_high;
+      rec.tau_l = tau_l;
+      rec.tau_h = tau_h;
+      rec.max_norm_var = max_norm_var;
+      rec.threshold = threshold;
+      rec.norm_low_var = std::move(norm_vars);
+      rec.cumulative_cost = tracker.cost();
+      rec.x_star_l = &x_star_l;
+      rec.x = &history.back().x;
+      rec.eval = &history.back().eval;
+      // Acquisition (or eq. 13 criterion) value at the evaluated point.
+      {
+        const auto p = high_predictions(x_t);
+        rec.acquisition =
+            ff_high ? predictedViolation({p.begin() + 1, p.end()})
+                    : weightedEi(p[0], tau_h, {p.begin() + 1, p.end()});
+      }
+      if (const auto best = bestHighIndex(history)) {
+        rec.best_objective = history[*best].eval.objective;
+        rec.feasible_found = history[*best].eval.feasible();
+      }
+      publishIteration(rec, options_.observer);
+    }
+
     if (retrain) {
       fit_all();
     } else {
@@ -190,7 +240,9 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
     }
   }
 
-  return finalizeResult(std::move(history), tracker);
+  SynthesisResult result = finalizeResult(std::move(history), tracker);
+  traceRunEnd("mfbo", result);
+  return result;
 }
 
 }  // namespace mfbo::bo

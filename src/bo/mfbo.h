@@ -43,6 +43,10 @@ struct MfboOptions {
   bool use_first_feasible = true;
   /// Surrogate override; null = NARGP with the `nargp` config above.
   SurrogateFactory surrogate_factory;
+  /// Optional per-iteration progress callback (live streaming, --verbose).
+  /// Invoked after each loop iteration's evaluation with the full
+  /// fidelity-decision record; independent of the telemetry trace sink.
+  IterationObserver observer;
 };
 
 class MfboSynthesizer {

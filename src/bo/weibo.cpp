@@ -1,9 +1,11 @@
 #include "bo/weibo.h"
 
 #include <memory>
+#include <utility>
 
 #include "bo/acquisition.h"
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace mfbo::bo {
 
@@ -14,6 +16,9 @@ SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
   const Box real_box = problem.bounds();
   const Box unit = Box::unitCube(d);
   Rng rng(seed);
+  traceRunStart("weibo", problem, seed, options_.max_sims);
+  static telemetry::Counter& iterations_total =
+      telemetry::counter("bo.weibo.iterations");
 
   CostTracker tracker(problem.costRatio());
   std::vector<HistoryEntry> history;
@@ -49,30 +54,35 @@ SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
   };
   fit_all();
 
+  auto constraint_predictions = [&](const Vector& u) {
+    std::vector<gp::Prediction> cons(nc);
+    for (std::size_t i = 0; i < nc; ++i) cons[i] = models[1 + i].predict(u);
+    return cons;
+  };
+
   std::size_t iteration = 0;
   while (tracker.cost() + 1.0 <= options_.max_sims + 1e-9) {
     ++iteration;
+    iterations_total.add();
     const auto feasible_idx = data.bestFeasible();
 
     Vector candidate;
-    if (nc > 0 && !feasible_idx && options_.use_first_feasible) {
+    double tau = IterationRecord::kNan;
+    const bool ff = nc > 0 && !feasible_idx && options_.use_first_feasible;
+    if (ff) {
       // First-feasible phase (eq. 13): pull the search into the predicted
       // feasible region before spending budget on wEI.
       opt::ScalarObjective criterion = [&](const Vector& u) {
-        std::vector<gp::Prediction> cons(nc);
-        for (std::size_t i = 0; i < nc; ++i) cons[i] = models[1 + i].predict(u);
-        return predictedViolation(cons);
+        return predictedViolation(constraint_predictions(u));
       };
       candidate = minimizeCriterionMsp(criterion, unit, options_.msp.n_starts,
                                        options_.msp.local, rng);
     } else {
-      const double tau = feasible_idx ? data.evals[*feasible_idx].objective
-                                      : models[0].bestObserved();
+      tau = feasible_idx ? data.evals[*feasible_idx].objective
+                         : models[0].bestObserved();
       opt::ScalarObjective acq = [&](const Vector& u) {
-        const gp::Prediction obj = models[0].predict(u);
-        std::vector<gp::Prediction> cons(nc);
-        for (std::size_t i = 0; i < nc; ++i) cons[i] = models[1 + i].predict(u);
-        return weightedEi(obj, tau, cons);
+        return weightedEi(models[0].predict(u), tau,
+                          constraint_predictions(u));
       };
       // Single-fidelity: only the τ_h incumbent exists (fraction per §4.1).
       const std::optional<Vector> incumbent =
@@ -88,6 +98,31 @@ SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
     // Update the models with the new observation.
     const bool retrain = options_.retrain_every <= 1 ||
                          iteration % options_.retrain_every == 0;
+
+    if (iterationWanted(options_.observer)) {
+      IterationRecord rec;
+      rec.algo = "weibo";
+      rec.iteration = iteration;
+      rec.fidelity = Fidelity::kHigh;
+      rec.retrained = retrain;
+      rec.first_feasible_phase = ff;
+      rec.tau_h = tau;
+      rec.cumulative_cost = tracker.cost();
+      rec.x = &history.back().x;
+      rec.eval = &history.back().eval;
+      // Acquisition (or eq. 13 criterion) value at the evaluated point,
+      // on the pre-update models that selected it.
+      rec.acquisition =
+          ff ? predictedViolation(constraint_predictions(candidate))
+             : weightedEi(models[0].predict(candidate), tau,
+                          constraint_predictions(candidate));
+      if (const auto best = bestHighIndex(history)) {
+        rec.best_objective = history[*best].eval.objective;
+        rec.feasible_found = history[*best].eval.feasible();
+      }
+      publishIteration(rec, options_.observer);
+    }
+
     if (retrain) {
       fit_all();
     } else {
@@ -98,7 +133,9 @@ SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
     }
   }
 
-  return finalizeResult(std::move(history), tracker);
+  SynthesisResult result = finalizeResult(std::move(history), tracker);
+  traceRunEnd("weibo", result);
+  return result;
 }
 
 }  // namespace mfbo::bo

@@ -22,6 +22,8 @@ struct WeiboOptions {
   std::size_t retrain_every = 1;
   /// §4.2 first-feasible strategy; disable only for ablation.
   bool use_first_feasible = true;
+  /// Optional per-iteration progress callback (live streaming, --verbose).
+  IterationObserver observer;
 };
 
 class Weibo {

@@ -1,0 +1,432 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace mfbo {
+
+namespace {
+
+/// Deterministic shortest-faithful double formatting: %.17g round-trips
+/// every double and prints integral values without a decimal point, so two
+/// runs with the same seed serialize byte-identically.
+void appendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // Prefer the shortest representation that still round-trips.
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out += buf;
+}
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Recursive-descent parser over a string; tracks the current offset for
+/// error messages. Depth-limited so hostile input cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parseDocument() {
+    Json value = parseValue(0);
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("Json::parse: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(const char* literal) {
+    std::size_t n = 0;
+    while (literal[n] != '\0') ++n;
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parseValue(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skipWhitespace();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parseObject(depth);
+      case '[':
+        return parseArray(depth);
+      case '"':
+        return Json::str(parseString());
+      case 't':
+        if (consumeLiteral("true")) return Json::boolean(true);
+        fail("invalid literal");
+      case 'f':
+        if (consumeLiteral("false")) return Json::boolean(false);
+        fail("invalid literal");
+      case 'n':
+        if (consumeLiteral("null")) return Json::null();
+        fail("invalid literal");
+      default:
+        return parseNumber();
+    }
+  }
+
+  Json parseObject(int depth) {
+    expect('{');
+    Json obj = Json::object();
+    skipWhitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skipWhitespace();
+      std::string key = parseString();
+      skipWhitespace();
+      expect(':');
+      obj.set(std::move(key), parseValue(depth + 1));
+      skipWhitespace();
+      const char sep = peek();
+      ++pos_;
+      if (sep == '}') return obj;
+      if (sep != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parseArray(int depth) {
+    expect('[');
+    Json arr = Json::array();
+    skipWhitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push(parseValue(depth + 1));
+      skipWhitespace();
+      const char sep = peek();
+      ++pos_;
+      if (sep == ']') return arr;
+      if (sep != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          pos_ += 4;
+          // The writer only emits \u00xx control escapes; decode the BMP
+          // subset as UTF-8 and reject surrogates.
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogates unsupported");
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("invalid value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("invalid number '" + token + "'");
+    return Json::number(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::str(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::asBool() const {
+  MFBO_CHECK(type_ == Type::kBool, "not a bool");
+  return bool_;
+}
+
+double Json::asNumber() const {
+  MFBO_CHECK(type_ == Type::kNumber, "not a number");
+  return number_;
+}
+
+const std::string& Json::asString() const {
+  MFBO_CHECK(type_ == Type::kString, "not a string");
+  return string_;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return items_.size();
+  if (type_ == Type::kObject) return members_.size();
+  return 0;
+}
+
+Json& Json::push(Json v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  MFBO_CHECK(type_ == Type::kArray, "push() on a non-array");
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+const Json& Json::at(std::size_t i) const {
+  MFBO_CHECK(type_ == Type::kArray, "at(index) on a non-array");
+  MFBO_CHECK(i < items_.size(), "index ", i, " out of range [0,",
+             items_.size(), ")");
+  return items_[i];
+}
+
+Json& Json::set(std::string key, Json v) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  MFBO_CHECK(type_ == Type::kObject, "set() on a non-object");
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(v);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+bool Json::contains(const std::string& key) const {
+  if (type_ != Type::kObject) return false;
+  for (const auto& member : members_)
+    if (member.first == key) return true;
+  return false;
+}
+
+const Json& Json::at(const std::string& key) const {
+  MFBO_CHECK(type_ == Type::kObject, "at(key) on a non-object");
+  for (const auto& member : members_)
+    if (member.first == key) return member.second;
+  MFBO_CHECK(false, "missing key '", key, "'");
+  std::abort();  // unreachable: MFBO_CHECK(false) throws
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  MFBO_CHECK(type_ == Type::kObject, "members() on a non-object");
+  return members_;
+}
+
+const std::vector<Json>& Json::items() const {
+  MFBO_CHECK(type_ == Type::kArray, "items() on a non-array");
+  return items_;
+}
+
+void Json::appendTo(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      appendNumber(out, number_);
+      break;
+    case Type::kString:
+      appendEscaped(out, string_);
+      break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& item : items_) {
+        if (!first) out += ',';
+        first = false;
+        item.appendTo(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& member : members_) {
+        if (!first) out += ',';
+        first = false;
+        appendEscaped(out, member.first);
+        out += ':';
+        member.second.appendTo(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  appendTo(out);
+  return out;
+}
+
+Json Json::parse(const std::string& text) {
+  Parser parser(text);
+  return parser.parseDocument();
+}
+
+}  // namespace mfbo

@@ -1,0 +1,149 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace mfbo {
+namespace telemetry {
+
+namespace {
+
+/// Name-keyed metric store. std::map keeps snapshots sorted (deterministic
+/// artifact output); unique_ptr keeps references stable across rehashing.
+template <typename Metric>
+class Registry {
+ public:
+  Metric& get(std::string_view name) {
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+      it = metrics_
+               .emplace(std::string(name), std::make_unique<Metric>())
+               .first;
+    }
+    return *it->second;
+  }
+
+  void resetAll() {
+    for (auto& entry : metrics_) entry.second->reset();
+  }
+
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (const auto& entry : metrics_) fn(entry.first, *entry.second);
+  }
+
+ private:
+  // Transparent comparator: lookups by string_view without allocating.
+  std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics_;
+};
+
+Registry<Counter>& counters() {
+  static Registry<Counter> registry;
+  return registry;
+}
+
+Registry<Gauge>& gauges() {
+  static Registry<Gauge> registry;
+  return registry;
+}
+
+Registry<Timer>& timers() {
+  static Registry<Timer> registry;
+  return registry;
+}
+
+TraceSink*& sinkSlot() {
+  static TraceSink* sink = nullptr;
+  return sink;
+}
+
+}  // namespace
+
+void Timer::record(double seconds) {
+  if (count_ == 0 || seconds < min_) min_ = seconds;
+  if (seconds > max_) max_ = seconds;
+  total_ += seconds;
+  ++count_;
+}
+
+void Timer::reset() {
+  count_ = 0;
+  total_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+Counter& counter(std::string_view name) { return counters().get(name); }
+Gauge& gauge(std::string_view name) { return gauges().get(name); }
+Timer& timer(std::string_view name) { return timers().get(name); }
+
+Json metricsSnapshot() {
+  Json snapshot = Json::object();
+  Json counter_obj = Json::object();
+  counters().forEach([&](const std::string& name, const Counter& c) {
+    counter_obj.set(name, Json::number(static_cast<double>(c.value())));
+  });
+  Json gauge_obj = Json::object();
+  gauges().forEach([&](const std::string& name, const Gauge& g) {
+    gauge_obj.set(name, Json::number(g.value()));
+  });
+  Json timer_obj = Json::object();
+  timers().forEach([&](const std::string& name, const Timer& t) {
+    Json entry = Json::object();
+    entry.set("count", Json::number(static_cast<double>(t.count())));
+    entry.set("total_s", Json::number(t.totalSeconds()));
+    entry.set("min_s", Json::number(t.minSeconds()));
+    entry.set("max_s", Json::number(t.maxSeconds()));
+    timer_obj.set(name, std::move(entry));
+  });
+  snapshot.set("counters", std::move(counter_obj));
+  snapshot.set("gauges", std::move(gauge_obj));
+  snapshot.set("timers", std::move(timer_obj));
+  return snapshot;
+}
+
+void resetMetrics() {
+  counters().resetAll();
+  gauges().resetAll();
+  timers().resetAll();
+}
+
+TraceWriter::TraceWriter(const std::string& path)
+    : stream_(std::fopen(path.c_str(), "w")), owns_stream_(true) {
+  if (stream_ == nullptr)
+    throw std::runtime_error("TraceWriter: cannot open '" + path +
+                             "' for writing");
+}
+
+TraceWriter::TraceWriter(std::FILE* stream) : stream_(stream) {
+  MFBO_CHECK(stream_ != nullptr, "null trace stream");
+}
+
+TraceWriter::~TraceWriter() {
+  if (owns_stream_ && stream_ != nullptr) std::fclose(stream_);
+}
+
+void TraceWriter::write(const Json& event) {
+  const std::string line = event.dump();
+  std::fwrite(line.data(), 1, line.size(), stream_);
+  std::fputc('\n', stream_);
+  std::fflush(stream_);
+  ++events_written_;
+}
+
+void setTraceSink(TraceSink* sink) { sinkSlot() = sink; }
+
+TraceSink* traceSink() { return sinkSlot(); }
+
+bool traceEnabled() { return sinkSlot() != nullptr; }
+
+void emitTrace(const Json& event) {
+  if (TraceSink* sink = sinkSlot()) sink->write(event);
+}
+
+}  // namespace telemetry
+}  // namespace mfbo

@@ -1,0 +1,184 @@
+// mfbo — process-wide telemetry: metrics registry and structured tracing.
+//
+// The BO loop makes every interesting decision silently — the eq. (11)/(12)
+// fidelity choice, MSP restart outcomes, first-feasible switching, Cholesky
+// jitter retries — which makes table-level discrepancies against the paper
+// impossible to diagnose without a debugger. This header provides the two
+// observability primitives the rest of the library hooks into:
+//
+//   * Metrics — named monotonic Counters, Gauges, and Timer histograms in a
+//     process-wide registry. Instrumentation sites hold a `static` reference
+//     (one registry lookup per process), so the steady-state cost of a
+//     counter bump is a single add. `metricsSnapshot()` serializes the whole
+//     registry to JSON for the bench `--out` artifacts; `resetMetrics()`
+//     zeroes values (references stay valid) so tests and repeated bench runs
+//     can isolate measurements.
+//
+//   * Tracing — structured events (JSON objects) routed to an installable
+//     TraceSink. The default sink is null: `traceEnabled()` is a single
+//     pointer test, and every emission site guards event construction behind
+//     it, so an untraced run does no formatting work and produces no output.
+//     TraceWriter is the JSONL file sink (one event per line, flushed);
+//     CollectingTraceSink buffers events in memory for tests and embedders.
+//
+// The registry and sink are deliberately not synchronized: the library is
+// single-threaded by design (see DESIGN.md), and the telemetry layer follows
+// the same contract.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+
+namespace mfbo {
+namespace telemetry {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value-wins instantaneous metric.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Accumulating duration statistic (count / total / min / max seconds).
+/// A full histogram is overkill for the per-run artifacts; these four
+/// moments answer "how often and how long" without bucketing decisions.
+class Timer {
+ public:
+  void record(double seconds);
+  std::uint64_t count() const { return count_; }
+  double totalSeconds() const { return total_; }
+  double minSeconds() const { return count_ > 0 ? min_ : 0.0; }
+  double maxSeconds() const { return max_; }
+  double meanSeconds() const {
+    return count_ > 0 ? total_ / static_cast<double>(count_) : 0.0;
+  }
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  double total_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Registry lookup; creates the metric on first use. The returned reference
+/// stays valid for the lifetime of the process (resetMetrics() zeroes values
+/// without invalidating references), so hot call sites cache it:
+///
+///   static telemetry::Counter& retries =
+///       telemetry::counter("linalg.cholesky.jitter_retries");
+///   retries.add();
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Timer& timer(std::string_view name);
+
+/// Serialize every registered metric, sorted by name:
+/// {"counters":{...},"gauges":{...},"timers":{name:{count,total,min,max}}}.
+Json metricsSnapshot();
+
+/// Zero every registered metric (references stay valid).
+void resetMetrics();
+
+/// RAII wall-clock timer recording into a Timer on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& t)
+      : timer_(t), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_.record(std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  Timer& timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Destination for structured trace events.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const Json& event) = 0;
+};
+
+/// JSONL file sink: one compact JSON object per line, flushed per event so
+/// a crashed run still leaves a readable trace prefix.
+class TraceWriter final : public TraceSink {
+ public:
+  /// Opens (truncates) @p path; throws std::runtime_error on failure.
+  explicit TraceWriter(const std::string& path);
+  /// Adopts an already-open stream (not closed on destruction); used to
+  /// trace to stderr or a pipe.
+  explicit TraceWriter(std::FILE* stream);
+  ~TraceWriter() override;
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const Json& event) override;
+  std::uint64_t eventsWritten() const { return events_written_; }
+
+ private:
+  std::FILE* stream_ = nullptr;
+  bool owns_stream_ = false;
+  std::uint64_t events_written_ = 0;
+};
+
+/// In-memory sink for tests and embedders that post-process events.
+class CollectingTraceSink final : public TraceSink {
+ public:
+  void write(const Json& event) override { events.push_back(event); }
+  std::vector<Json> events;
+};
+
+/// Install (or, with nullptr, remove) the process-wide trace sink. The sink
+/// is borrowed, not owned; the caller keeps it alive while installed.
+void setTraceSink(TraceSink* sink);
+TraceSink* traceSink();
+
+/// True when a sink is installed. Emission sites use this to skip event
+/// construction entirely on untraced runs.
+bool traceEnabled();
+
+/// Route an event to the installed sink; no-op without one.
+void emitTrace(const Json& event);
+
+/// RAII sink installation for scoped tracing (tests, bench runs): installs
+/// @p sink on construction, restores the previous sink on destruction.
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceSink* sink) : previous_(traceSink()) {
+    setTraceSink(sink);
+  }
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+  ~ScopedTraceSink() { setTraceSink(previous_); }
+
+ private:
+  TraceSink* previous_;
+};
+
+}  // namespace telemetry
+}  // namespace mfbo

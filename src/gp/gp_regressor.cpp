@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace mfbo::gp {
 
@@ -121,6 +122,18 @@ void GpRegressor::validateData(const std::vector<Vector>& x,
 }
 
 void GpRegressor::train(bool warm_start) {
+  static telemetry::Counter& fit_calls = telemetry::counter("gp.fit_calls");
+  static telemetry::Counter& nlml_evals = telemetry::counter("gp.nlml_evals");
+  static telemetry::Counter& poisoned_not_pd =
+      telemetry::counter("gp.train.poisoned_not_pd");
+  static telemetry::Counter& poisoned_nonfinite =
+      telemetry::counter("gp.train.poisoned_nonfinite");
+  static telemetry::Counter& fallback_prior =
+      telemetry::counter("gp.train.fallback_to_prior");
+  static telemetry::Timer& fit_timer = telemetry::timer("gp.fit_seconds");
+  fit_calls.add();
+  const telemetry::ScopedTimer fit_scope(fit_timer);
+
   // Standardize targets for this training set.
   standardizer_ = config_.standardize ? linalg::Standardizer(y_raw_)
                                       : linalg::Standardizer();
@@ -133,6 +146,7 @@ void GpRegressor::train(bool warm_start) {
   // Objective over θ = [kernel log-params..., log σ_n].
   opt::GradObjective objective = [this, p](const Vector& theta,
                                            Vector* grad) -> double {
+    nlml_evals.add();
     Vector kp(p);
     for (std::size_t i = 0; i < p; ++i) kp[i] = theta[i];
     kernel_->setParams(kp);
@@ -140,11 +154,13 @@ void GpRegressor::train(bool warm_start) {
       return negLogMarginalLikelihood(*kernel_, theta[p], x_, y_std_, grad);
     } catch (const std::runtime_error&) {
       // Cholesky failure even with max jitter: poison this region.
+      poisoned_not_pd.add();
       if (grad) *grad = Vector(p + 1, std::nan(""));
       return std::nan("");
     } catch (const ContractViolation&) {
       // Non-finite NLML at an extreme hyperparameter corner (the training
       // data itself was validated at fit time): poison it the same way.
+      poisoned_nonfinite.add();
       if (grad) *grad = Vector(p + 1, std::nan(""));
       return std::nan("");
     }
@@ -190,6 +206,7 @@ void GpRegressor::train(bool warm_start) {
   if (best_theta.empty()) {
     // Every start failed (numerically hopeless data): keep defaults with a
     // large noise so the model degrades to the prior instead of crashing.
+    fallback_prior.add();
     best_theta = starts.front();
     best_theta[p] = std::log(config_.max_noise_sd);
   }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace mfbo::linalg {
 
@@ -45,6 +46,15 @@ Cholesky Cholesky::factorWithJitter(const Matrix& a, double initial_jitter,
   MFBO_CHECK(a.allFinite(), "matrix has non-finite entries");
   Matrix l;
   if (tryFactor(a, 0.0, l)) return Cholesky(std::move(l), 0.0);
+  // Invisible-at-runtime numerics made visible: every rung of the jitter
+  // ladder is a near-singular Gram matrix the GP layer had to paper over.
+  static telemetry::Counter& jittered =
+      telemetry::counter("linalg.cholesky.jittered_factorizations");
+  static telemetry::Counter& retries =
+      telemetry::counter("linalg.cholesky.jitter_retries");
+  static telemetry::Counter& exhausted =
+      telemetry::counter("linalg.cholesky.jitter_exhausted");
+  jittered.add();
   // Scale jitter relative to the mean diagonal so the retry ladder is
   // meaningful for both unit-variance and raw-scale covariances.
   double diag_mean = 0.0;
@@ -52,8 +62,10 @@ Cholesky Cholesky::factorWithJitter(const Matrix& a, double initial_jitter,
   diag_mean = std::abs(diag_mean) / static_cast<double>(a.rows());
   const double scale = diag_mean > 0.0 ? diag_mean : 1.0;
   for (double j = initial_jitter; j <= max_jitter * 1.0000001; j *= 10.0) {
+    retries.add();
     if (tryFactor(a, j * scale, l)) return Cholesky(std::move(l), j * scale);
   }
+  exhausted.add();
   throw std::runtime_error(
       "Cholesky: matrix not positive definite even with maximum jitter");
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace mfbo::mf {
 
@@ -57,6 +58,9 @@ void NargpModel::addHigh(const Vector& x, double y, bool retrain) {
 }
 
 void NargpModel::rebuildHigh(bool retrain) {
+  static telemetry::Timer& fuse_timer =
+      telemetry::timer("mf.nargp.fuse_seconds");
+  const telemetry::ScopedTimer fuse_scope(fuse_timer);
   std::vector<Vector> z;
   z.reserve(x_high_.size());
   for (const Vector& x : x_high_)
@@ -81,6 +85,15 @@ Prediction NargpModel::predictHigh(const Vector& x) const {
   MFBO_CHECK(high_gp_.fitted(), "model is not fitted");
   MFBO_DCHECK(x.size() == x_dim_, "input dim ", x.size(),
               " does not match x_dim ", x_dim_);
+  static telemetry::Counter& predict_calls =
+      telemetry::counter("mf.nargp.predict_high_calls");
+  static telemetry::Counter& mc_samples =
+      telemetry::counter("mf.nargp.mc_samples");
+  static telemetry::Timer& predict_timer =
+      telemetry::timer("mf.nargp.predict_high_seconds");
+  predict_calls.add();
+  mc_samples.add(config_.n_mc);
+  const telemetry::ScopedTimer predict_scope(predict_timer);
   const Prediction low = low_gp_.predict(x);
   const double low_sd = low.sd();
 

@@ -1,6 +1,7 @@
 #include "opt/multistart.h"
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace mfbo::opt {
 
@@ -8,25 +9,38 @@ OptResult multistartMinimize(const ScalarObjective& f,
                              const std::vector<Vector>& starts, const Box& box,
                              const MultistartOptions& options) {
   MFBO_CHECK(!starts.empty(), "no starting points");
+  static telemetry::Counter& msp_runs =
+      telemetry::counter("opt.multistart.runs");
+  static telemetry::Counter& msp_starts =
+      telemetry::counter("opt.multistart.starts");
+  static telemetry::Counter& msp_iterations =
+      telemetry::counter("opt.multistart.local_iterations");
+  static telemetry::Counter& msp_evaluations =
+      telemetry::counter("opt.multistart.evaluations");
+
   OptResult best;
   bool first = true;
-  for (const Vector& start : starts) {
+  std::size_t total_evaluations = 0;
+  std::size_t total_iterations = 0;
+  for (std::size_t i = 0; i < starts.size(); ++i) {
     OptResult local =
-        nelderMeadMinimize(f, box.clamp(start), box, options.local);
-    local.evaluations += best.evaluations;
-    local.iterations += best.iterations;
+        nelderMeadMinimize(f, box.clamp(starts[i]), box, options.local);
+    total_evaluations += local.evaluations;
+    total_iterations += local.iterations;
     if (first || local.value < best.value) {
-      const std::size_t evals = local.evaluations;
-      const std::size_t iters = local.iterations;
       best = std::move(local);
-      best.evaluations = evals;
-      best.iterations = iters;
+      best.best_start = i;
       first = false;
-    } else {
-      best.evaluations = local.evaluations;
-      best.iterations = local.iterations;
     }
   }
+  // Report the cumulative search effort, not just the winning restart's.
+  best.evaluations = total_evaluations;
+  best.iterations = total_iterations;
+
+  msp_runs.add();
+  msp_starts.add(starts.size());
+  msp_iterations.add(total_iterations);
+  msp_evaluations.add(total_evaluations);
   return best;
 }
 

@@ -30,6 +30,10 @@ struct OptResult {
   std::size_t evaluations = 0;  ///< number of objective calls consumed
   std::size_t iterations = 0;   ///< optimizer iterations performed
   bool converged = false;       ///< tolerance met before hitting limits
+  /// Index (into the start list) of the start that produced x. Only
+  /// meaningful for multistart drivers; callers use it to attribute the
+  /// winner to its provenance (random / incumbent scatter / seed).
+  std::size_t best_start = 0;
 };
 
 }  // namespace mfbo::opt
