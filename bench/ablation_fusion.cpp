@@ -124,12 +124,11 @@ int main(int argc, char** argv) {
     return std::make_unique<mf::Ar1Model>(d, cfg);
   };
 
-  problems::PedagogicalProblem problem;
   bench::AlgoStats nargp_stats{"mfbo_nargp"}, ar1_stats{"mfbo_ar1"};
-  for (std::size_t r = 0; r < runs; ++r) {
-    nargp_stats.addTimed(bo::MfboSynthesizer(base), problem, cfg.seed + r);
-    ar1_stats.addTimed(bo::MfboSynthesizer(with_ar1), problem, cfg.seed + r);
-  }
+  const auto fresh = [] { return problems::PedagogicalProblem(); };
+  bench::runRepeats(nargp_stats, bo::MfboSynthesizer(base), fresh, runs, cfg);
+  bench::runRepeats(ar1_stats, bo::MfboSynthesizer(with_ar1), fresh, runs,
+                    cfg);
   std::printf("%-30s %12.5f\n", "Algorithm 1 + NARGP",
               linalg::mean(nargp_stats.objectives));
   std::printf("%-30s %12.5f\n", "Algorithm 1 + AR(1)",

@@ -37,11 +37,11 @@ int main(int argc, char** argv) {
 
   bench::AlgoStats with_scatter{"msp_incumbent_scatter"};
   bench::AlgoStats all_random{"msp_all_random"};
-  for (std::size_t r = 0; r < runs; ++r) {
-    with_scatter.addTimed(bo::MfboSynthesizer(paper), problem, cfg.seed + r);
-    all_random.addTimed(bo::MfboSynthesizer(random_only), problem,
-                        cfg.seed + r);
-  }
+  const auto fresh = [] { return problems::ConstrainedQuadraticProblem(8); };
+  bench::runRepeats(with_scatter, bo::MfboSynthesizer(paper), fresh, runs,
+                    cfg);
+  bench::runRepeats(all_random, bo::MfboSynthesizer(random_only), fresh, runs,
+                    cfg);
   bench::writeArtifact(cfg, "ablation_msp", runs,
                        {&with_scatter, &all_random});
 

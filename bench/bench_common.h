@@ -6,6 +6,12 @@
 //   --full       the paper's budgets and repetition counts
 //   --runs N     override the repetition count (positive integer)
 //   --seed S     base RNG seed (run r uses S + r)
+//   --threads N  thread count for the parallel execution layer (positive
+//                integer; 1 = fully serial; default MFBO_THREADS env var
+//                or hardware concurrency)
+//   --no-timing  zero wall-clock fields and drop the timers section from
+//                the --out artifact, making same-seed artifacts
+//                byte-identical at any thread count
 //   --out FILE   write a machine-readable JSON artifact with the per-run
 //                results and a telemetry metrics snapshot
 //   --help       print usage and exit
@@ -23,6 +29,7 @@
 
 #include "bo/result.h"
 #include "common/json.h"
+#include "common/parallel.h"
 #include "common/telemetry.h"
 #include "linalg/stats.h"
 
@@ -32,6 +39,8 @@ struct BenchConfig {
   bool full = false;
   std::size_t runs_override = 0;  // 0 = use mode default
   std::uint64_t seed = 1000;
+  std::size_t threads = 0;  // 0 = auto (MFBO_THREADS env / hardware)
+  bool timing = true;       // false: deterministic artifacts (--no-timing)
   std::string out;  // artifact path; empty = no artifact
 
   std::size_t runs(std::size_t quick_default, std::size_t full_default) const {
@@ -47,7 +56,7 @@ struct BenchConfig {
 inline void printUsage(std::FILE* stream, const char* prog) {
   std::fprintf(stream,
                "usage: %s [--quick|--full] [--runs N] [--seed S] "
-               "[--out FILE] [--help]\n",
+               "[--threads N] [--no-timing] [--out FILE] [--help]\n",
                prog);
 }
 
@@ -80,6 +89,16 @@ inline BenchConfig parseArgs(int argc, char** argv) {
       if (end == argv[i] || *end != '\0')
         fail("--seed wants a non-negative integer, got", argv[i]);
       cfg.seed = s;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) fail("missing value for", argv[i]);
+      char* end = nullptr;
+      const long long n = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n <= 0)
+        fail("--threads wants a positive integer, got", argv[i]);
+      cfg.threads = static_cast<std::size_t>(n);
+      parallel::setMaxThreads(cfg.threads);
+    } else if (std::strcmp(argv[i], "--no-timing") == 0) {
+      cfg.timing = false;
     } else if (std::strcmp(argv[i], "--out") == 0) {
       if (i + 1 >= argc) fail("missing value for", argv[i]);
       cfg.out = argv[++i];
@@ -126,17 +145,6 @@ struct AlgoStats {
       median_result = r;
   }
 
-  /// Run `synthesizer.run(problem, seed)`, recording its wall time.
-  template <class Synthesizer, class ProblemT>
-  void addTimed(const Synthesizer& synthesizer, ProblemT& problem,
-                std::uint64_t seed) {
-    const auto start = std::chrono::steady_clock::now();
-    bo::SynthesisResult r = synthesizer.run(problem, seed);
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
-    add(r, elapsed.count());
-  }
-
   linalg::RunSummary summary(bool lower_is_better) const {
     return linalg::summarizeRuns(objectives, lower_is_better);
   }
@@ -154,6 +162,39 @@ struct AlgoStats {
   }
 };
 
+/// Run `runs` seeded repetitions of one algorithm on the parallel pool —
+/// one repeat per task, seed base_seed+r (defaults to cfg.seed), a fresh
+/// problem instance per task from the factory (Problem::evaluate may mutate
+/// state, so instances are never shared) — and add the results to @p stats
+/// in repeat order. Aggregates (including the order-sensitive median
+/// tracking) are therefore identical at any thread count. Per-run wall
+/// times are recorded unless --no-timing was given; the synthesis loops
+/// inside each repeat still run, nested, on their serial path.
+template <class Synthesizer, class ProblemFactory>
+void runRepeats(AlgoStats& stats, const Synthesizer& synthesizer,
+                ProblemFactory make_problem, std::size_t runs,
+                const BenchConfig& cfg,
+                std::uint64_t base_seed = std::uint64_t(-1)) {
+  if (base_seed == std::uint64_t(-1)) base_seed = cfg.seed;
+  struct Repeat {
+    bo::SynthesisResult result;
+    double seconds = 0.0;
+  };
+  std::vector<Repeat> repeats =
+      parallel::parallelMap(runs, [&](std::size_t r) {
+        auto problem = make_problem();
+        const auto start = std::chrono::steady_clock::now();
+        Repeat out;
+        out.result = synthesizer.run(problem, base_seed + r);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        out.seconds = elapsed.count();
+        return out;
+      });
+  for (const Repeat& r : repeats)
+    stats.add(r.result, cfg.timing ? r.seconds : 0.0);
+}
+
 /// Common artifact preamble: bench identity, mode, runs, seed.
 inline Json artifactHeader(const BenchConfig& cfg, const std::string& bench,
                            std::size_t runs) {
@@ -168,10 +209,12 @@ inline Json artifactHeader(const BenchConfig& cfg, const std::string& bench,
 /// Write @p doc (with a telemetry metrics snapshot appended) to the --out
 /// path. Exits with an error when the file cannot be written — a bench
 /// asked for an artifact it silently failed to produce would poison
-/// downstream comparisons. No-op when --out was not given.
+/// downstream comparisons. No-op when --out was not given. Under
+/// --no-timing the snapshot omits the wall-clock timers section, so the
+/// artifact bytes depend only on the seed, not the thread count.
 inline void writeArtifactFile(const BenchConfig& cfg, Json doc) {
   if (cfg.out.empty()) return;
-  doc.set("metrics", telemetry::metricsSnapshot());
+  doc.set("metrics", telemetry::metricsSnapshot(cfg.timing));
   std::FILE* f = std::fopen(cfg.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open artifact file '%s'\n", cfg.out.c_str());

@@ -1,0 +1,108 @@
+// Micro-benchmark for the parallel execution layer: MSP multistart speedup
+// and 1-vs-N determinism in one artifact.
+//
+// Real acquisition objectives are compute-bound, but the workload the pool
+// is sized for — analog circuit synthesis — is dominated by simulator
+// latency, so each objective evaluation here sleeps for a fixed "simulator
+// call" before its (cheap) arithmetic. That makes the measured speedup
+// meaningful even on a single-core CI runner: threads overlap the latency,
+// exactly as they overlap blocking simulator processes in production.
+//
+// The artifact records serial/parallel wall times, the speedup, and whether
+// the two runs returned byte-identical results (the binary exits 1 when
+// they do not, so a silent determinism regression fails CI even without
+// artifact validation).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "linalg/rng.h"
+#include "opt/multistart.h"
+
+int main(int argc, char** argv) {
+  using namespace mfbo;
+  const bench::BenchConfig cfg = bench::parseArgs(argc, argv);
+  const std::size_t threads = cfg.threads > 0 ? cfg.threads : 4;
+  const std::size_t n_starts = cfg.full ? 32 : 16;
+  const auto sim_latency = std::chrono::microseconds(cfg.full ? 500 : 200);
+
+  // Multimodal surrogate of an acquisition surface, behind a simulated
+  // simulator call.
+  const opt::ScalarObjective f = [&](const linalg::Vector& x) {
+    std::this_thread::sleep_for(sim_latency);
+    double acc = 10.0 * static_cast<double>(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+      acc += (x[i] - 0.4) * (x[i] - 0.4) -
+             10.0 * std::cos(7.0 * (x[i] - 0.4));
+    return acc;
+  };
+  const linalg::Box box(linalg::Vector(4, -1.0), linalg::Vector(4, 1.0));
+  linalg::Rng rng(cfg.seed);
+  std::vector<linalg::Vector> starts;
+  starts.reserve(n_starts);
+  for (std::size_t s = 0; s < n_starts; ++s)
+    starts.push_back(rng.uniformVector(4, -1.0, 1.0));
+  opt::MultistartOptions opts;
+  opts.local.max_evaluations = 60;
+
+  // Best-of-3 wall time per leg: sleep-dominated timings are stable, but CI
+  // runners hiccup.
+  const auto time_leg = [&](std::size_t leg_threads, opt::OptResult& result) {
+    parallel::setMaxThreads(leg_threads);
+    double best = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+      const auto start = std::chrono::steady_clock::now();
+      result = opt::multistartMinimize(f, starts, box, opts);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (trial == 0 || elapsed.count() < best) best = elapsed.count();
+    }
+    parallel::setMaxThreads(0);
+    return best;
+  };
+
+  opt::OptResult serial, pooled;
+  const double serial_seconds = time_leg(1, serial);
+  const double parallel_seconds = time_leg(threads, pooled);
+  const double speedup = serial_seconds / parallel_seconds;
+
+  bool identical = serial.value == pooled.value &&
+                   serial.best_start == pooled.best_start &&
+                   serial.evaluations == pooled.evaluations &&
+                   serial.x.size() == pooled.x.size();
+  for (std::size_t i = 0; identical && i < serial.x.size(); ++i)
+    identical = serial.x[i] == pooled.x[i];
+
+  std::printf("# micro_parallel: %zu starts, %lld us simulated latency\n",
+              n_starts, static_cast<long long>(sim_latency.count()));
+  std::printf("%-22s %10.4f s\n", "serial (1 thread)", serial_seconds);
+  std::printf("%-22s %10.4f s  (%zu threads)\n", "parallel",
+              parallel_seconds, threads);
+  std::printf("%-22s %10.2fx\n", "speedup", speedup);
+  std::printf("%-22s %10s\n", "identical results", identical ? "yes" : "NO");
+
+  Json doc = bench::artifactHeader(cfg, "micro_parallel", 1);
+  doc.set("threads", threads);
+  doc.set("n_starts", n_starts);
+  doc.set("sim_latency_us",
+          Json::number(static_cast<double>(sim_latency.count())));
+  doc.set("serial_seconds", serial_seconds);
+  doc.set("parallel_seconds", parallel_seconds);
+  doc.set("speedup", speedup);
+  doc.set("identical", identical);
+  doc.set("best_value", serial.value);
+  doc.set("best_start", serial.best_start);
+  bench::writeArtifactFile(cfg, std::move(doc));
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "determinism violation: serial and %zu-thread multistart "
+                 "results differ\n",
+                 threads);
+    return 1;
+  }
+  return 0;
+}

@@ -50,19 +50,21 @@ int main(int argc, char** argv) {
   de_opt.max_sims = cfg.scale(400, 10100);
 
   bench::AlgoStats ours{"Ours"}, weibo{"WEIBO"}, gaspad{"GASPAD"}, de{"DE"};
-  std::fprintf(stderr, "table2: %zu runs (%s mode)\n", runs,
-               cfg.full ? "full" : "quick");
-  for (std::size_t r = 0; r < runs; ++r) {
-    const std::uint64_t seed = cfg.seed + 100 + r;
-    ours.addTimed(bo::MfboSynthesizer(mfbo_opt), problem, seed);
-    std::fprintf(stderr, "  run %zu: ours done\n", r);
-    weibo.addTimed(bo::Weibo(weibo_opt), problem, seed);
-    std::fprintf(stderr, "  run %zu: weibo done\n", r);
-    gaspad.addTimed(bo::Gaspad(gaspad_opt), problem, seed);
-    std::fprintf(stderr, "  run %zu: gaspad done\n", r);
-    de.addTimed(bo::DeBaseline(de_opt), problem, seed);
-    std::fprintf(stderr, "  run %zu: de done\n", r);
-  }
+  std::fprintf(stderr, "table2: %zu runs (%s mode), %zu threads\n", runs,
+               cfg.mode(), parallel::maxThreads());
+  const auto fresh = [] { return problems::ChargePumpProblem(); };
+  // Historical seed layout: table2 runs use cfg.seed + 100 + r.
+  const std::uint64_t base_seed = cfg.seed + 100;
+  bench::runRepeats(ours, bo::MfboSynthesizer(mfbo_opt), fresh, runs, cfg,
+                    base_seed);
+  std::fprintf(stderr, "  ours done\n");
+  bench::runRepeats(weibo, bo::Weibo(weibo_opt), fresh, runs, cfg, base_seed);
+  std::fprintf(stderr, "  weibo done\n");
+  bench::runRepeats(gaspad, bo::Gaspad(gaspad_opt), fresh, runs, cfg,
+                    base_seed);
+  std::fprintf(stderr, "  gaspad done\n");
+  bench::runRepeats(de, bo::DeBaseline(de_opt), fresh, runs, cfg, base_seed);
+  std::fprintf(stderr, "  de done\n");
   bench::writeArtifact(cfg, "table2_charge_pump", runs,
                        {&ours, &weibo, &gaspad, &de});
 

@@ -14,10 +14,13 @@ namespace {
 
 /// Name-keyed metric store. std::map keeps snapshots sorted (deterministic
 /// artifact output); unique_ptr keeps references stable across rehashing.
+/// Lookups and traversals lock: parallel workers may hit get() through the
+/// function-local `static Metric&` initializers of instrumentation sites.
 template <typename Metric>
 class Registry {
  public:
   Metric& get(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu_);
     auto it = metrics_.find(name);
     if (it == metrics_.end()) {
       it = metrics_
@@ -28,15 +31,18 @@ class Registry {
   }
 
   void resetAll() {
+    const std::lock_guard<std::mutex> lock(mu_);
     for (auto& entry : metrics_) entry.second->reset();
   }
 
   template <typename Fn>
   void forEach(Fn&& fn) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     for (const auto& entry : metrics_) fn(entry.first, *entry.second);
   }
 
  private:
+  mutable std::mutex mu_;
   // Transparent comparator: lookups by string_view without allocating.
   std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics_;
 };
@@ -56,21 +62,48 @@ Registry<Timer>& timers() {
   return registry;
 }
 
-TraceSink*& sinkSlot() {
-  static TraceSink* sink = nullptr;
+std::atomic<TraceSink*>& sinkSlot() {
+  static std::atomic<TraceSink*> sink{nullptr};
   return sink;
 }
 
 }  // namespace
 
 void Timer::record(double seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0 || seconds < min_) min_ = seconds;
   if (seconds > max_) max_ = seconds;
   total_ += seconds;
   ++count_;
 }
 
+std::uint64_t Timer::count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Timer::totalSeconds() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+double Timer::minSeconds() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? min_ : 0.0;
+}
+
+double Timer::maxSeconds() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Timer::meanSeconds() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? total_ / static_cast<double>(count_) : 0.0;
+}
+
 void Timer::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
   count_ = 0;
   total_ = 0.0;
   min_ = 0.0;
@@ -81,7 +114,7 @@ Counter& counter(std::string_view name) { return counters().get(name); }
 Gauge& gauge(std::string_view name) { return gauges().get(name); }
 Timer& timer(std::string_view name) { return timers().get(name); }
 
-Json metricsSnapshot() {
+Json metricsSnapshot(bool include_timers) {
   Json snapshot = Json::object();
   Json counter_obj = Json::object();
   counters().forEach([&](const std::string& name, const Counter& c) {
@@ -91,18 +124,20 @@ Json metricsSnapshot() {
   gauges().forEach([&](const std::string& name, const Gauge& g) {
     gauge_obj.set(name, Json::number(g.value()));
   });
-  Json timer_obj = Json::object();
-  timers().forEach([&](const std::string& name, const Timer& t) {
-    Json entry = Json::object();
-    entry.set("count", Json::number(static_cast<double>(t.count())));
-    entry.set("total_s", Json::number(t.totalSeconds()));
-    entry.set("min_s", Json::number(t.minSeconds()));
-    entry.set("max_s", Json::number(t.maxSeconds()));
-    timer_obj.set(name, std::move(entry));
-  });
   snapshot.set("counters", std::move(counter_obj));
   snapshot.set("gauges", std::move(gauge_obj));
-  snapshot.set("timers", std::move(timer_obj));
+  if (include_timers) {
+    Json timer_obj = Json::object();
+    timers().forEach([&](const std::string& name, const Timer& t) {
+      Json entry = Json::object();
+      entry.set("count", Json::number(static_cast<double>(t.count())));
+      entry.set("total_s", Json::number(t.totalSeconds()));
+      entry.set("min_s", Json::number(t.minSeconds()));
+      entry.set("max_s", Json::number(t.maxSeconds()));
+      timer_obj.set(name, std::move(entry));
+    });
+    snapshot.set("timers", std::move(timer_obj));
+  }
   return snapshot;
 }
 
@@ -129,20 +164,28 @@ TraceWriter::~TraceWriter() {
 
 void TraceWriter::write(const Json& event) {
   const std::string line = event.dump();
+  const std::lock_guard<std::mutex> lock(mu_);
   std::fwrite(line.data(), 1, line.size(), stream_);
   std::fputc('\n', stream_);
   std::fflush(stream_);
   ++events_written_;
 }
 
-void setTraceSink(TraceSink* sink) { sinkSlot() = sink; }
+void setTraceSink(TraceSink* sink) {
+  sinkSlot().store(sink, std::memory_order_release);
+}
 
-TraceSink* traceSink() { return sinkSlot(); }
+TraceSink* traceSink() {
+  return sinkSlot().load(std::memory_order_acquire);
+}
 
-bool traceEnabled() { return sinkSlot() != nullptr; }
+bool traceEnabled() {
+  return sinkSlot().load(std::memory_order_acquire) != nullptr;
+}
 
 void emitTrace(const Json& event) {
-  if (TraceSink* sink = sinkSlot()) sink->write(event);
+  if (TraceSink* sink = sinkSlot().load(std::memory_order_acquire))
+    sink->write(event);
 }
 
 }  // namespace telemetry

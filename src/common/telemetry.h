@@ -21,14 +21,21 @@
 //     TraceWriter is the JSONL file sink (one event per line, flushed);
 //     CollectingTraceSink buffers events in memory for tests and embedders.
 //
-// The registry and sink are deliberately not synchronized: the library is
-// single-threaded by design (see DESIGN.md), and the telemetry layer follows
-// the same contract.
+// The metrics side is thread-safe: instrumented sites run inside the
+// deterministic parallel regions of common/parallel.h, so counter/gauge
+// updates are relaxed atomics, timers take a tiny mutex, and registry
+// lookups are mutex-protected (references stay stable and valid forever).
+// Trace sinks remain single-writer by contract — events are emitted only
+// from the serial sections of the synthesis loops — except TraceWriter,
+// which locks per line so embedders tracing from their own threads get
+// whole-line interleaving.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,44 +45,50 @@
 namespace mfbo {
 namespace telemetry {
 
-/// Monotonic event counter.
+/// Monotonic event counter. add() is a relaxed atomic: totals are exact at
+/// any thread count, only the interleaving is unordered.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-value-wins instantaneous metric.
+/// Last-value-wins instantaneous metric (atomic store/load).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  double value() const { return value_; }
-  void reset() { value_ = 0.0; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Accumulating duration statistic (count / total / min / max seconds).
 /// A full histogram is overkill for the per-run artifacts; these four
 /// moments answer "how often and how long" without bucketing decisions.
+/// The four fields update together under a mutex so concurrent record()
+/// calls from parallel workers cannot tear a snapshot.
 class Timer {
  public:
   void record(double seconds);
-  std::uint64_t count() const { return count_; }
-  double totalSeconds() const { return total_; }
-  double minSeconds() const { return count_ > 0 ? min_ : 0.0; }
-  double maxSeconds() const { return max_; }
-  double meanSeconds() const {
-    return count_ > 0 ? total_ / static_cast<double>(count_) : 0.0;
-  }
+  std::uint64_t count() const;
+  double totalSeconds() const;
+  double minSeconds() const;
+  double maxSeconds() const;
+  double meanSeconds() const;
   void reset();
 
  private:
+  mutable std::mutex mu_;
   std::uint64_t count_ = 0;
   double total_ = 0.0;
   double min_ = 0.0;
@@ -95,7 +108,11 @@ Timer& timer(std::string_view name);
 
 /// Serialize every registered metric, sorted by name:
 /// {"counters":{...},"gauges":{...},"timers":{name:{count,total,min,max}}}.
-Json metricsSnapshot();
+/// With include_timers=false the wall-clock "timers" section is omitted —
+/// counters and gauges are deterministic for a fixed seed at any thread
+/// count, so the remaining snapshot is byte-reproducible (the bench
+/// --no-timing artifacts rely on this).
+Json metricsSnapshot(bool include_timers = true);
 
 /// Zero every registered metric (references stay valid).
 void resetMetrics();
@@ -125,7 +142,8 @@ class TraceSink {
 };
 
 /// JSONL file sink: one compact JSON object per line, flushed per event so
-/// a crashed run still leaves a readable trace prefix.
+/// a crashed run still leaves a readable trace prefix. write() locks per
+/// event, so concurrent writers interleave whole lines, never fragments.
 class TraceWriter final : public TraceSink {
  public:
   /// Opens (truncates) @p path; throws std::runtime_error on failure.
@@ -141,12 +159,15 @@ class TraceWriter final : public TraceSink {
   std::uint64_t eventsWritten() const { return events_written_; }
 
  private:
+  std::mutex mu_;
   std::FILE* stream_ = nullptr;
   bool owns_stream_ = false;
   std::uint64_t events_written_ = 0;
 };
 
 /// In-memory sink for tests and embedders that post-process events.
+/// Single-writer by the trace-emission contract (events come from the
+/// serial sections of the synthesis loops, never from parallel workers).
 class CollectingTraceSink final : public TraceSink {
  public:
   void write(const Json& event) override { events.push_back(event); }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/telemetry.h"
 
 namespace mfbo::gp {
@@ -143,29 +144,6 @@ void GpRegressor::train(bool warm_start) {
 
   const std::size_t p = kernel_->numParams();
 
-  // Objective over θ = [kernel log-params..., log σ_n].
-  opt::GradObjective objective = [this, p](const Vector& theta,
-                                           Vector* grad) -> double {
-    nlml_evals.add();
-    Vector kp(p);
-    for (std::size_t i = 0; i < p; ++i) kp[i] = theta[i];
-    kernel_->setParams(kp);
-    try {
-      return negLogMarginalLikelihood(*kernel_, theta[p], x_, y_std_, grad);
-    } catch (const std::runtime_error&) {
-      // Cholesky failure even with max jitter: poison this region.
-      poisoned_not_pd.add();
-      if (grad) *grad = Vector(p + 1, std::nan(""));
-      return std::nan("");
-    } catch (const ContractViolation&) {
-      // Non-finite NLML at an extreme hyperparameter corner (the training
-      // data itself was validated at fit time): poison it the same way.
-      poisoned_nonfinite.add();
-      if (grad) *grad = Vector(p + 1, std::nan(""));
-      return std::nan("");
-    }
-  };
-
   // Box for the optimizer: generic log-param bounds plus the noise bracket.
   Vector lo(p + 1, config_.min_log_param);
   Vector hi(p + 1, config_.max_log_param);
@@ -193,11 +171,45 @@ void GpRegressor::train(bool warm_start) {
     starts.push_back(box.clamp(std::move(start)));
   }
 
+  // One L-BFGS run per restart on the parallel pool. Kernel::setParams
+  // mutates, so every restart optimizes its own kernel clone; the restart
+  // start list above was drawn serially from rng_, so the parallel bodies
+  // consume no shared RNG stream.
+  const std::vector<opt::OptResult> restarts = parallel::parallelMap(
+      starts.size(), [&](std::size_t start_index) {
+        const std::unique_ptr<Kernel> kernel = kernel_->clone();
+        opt::GradObjective objective = [&, p](const Vector& theta,
+                                              Vector* grad) -> double {
+          nlml_evals.add();
+          Vector kp(p);
+          for (std::size_t i = 0; i < p; ++i) kp[i] = theta[i];
+          kernel->setParams(kp);
+          try {
+            return negLogMarginalLikelihood(*kernel, theta[p], x_, y_std_,
+                                            grad);
+          } catch (const std::runtime_error&) {
+            // Cholesky failure even with max jitter: poison this region.
+            poisoned_not_pd.add();
+            if (grad) *grad = Vector(p + 1, std::nan(""));
+            return std::nan("");
+          } catch (const ContractViolation&) {
+            // Non-finite NLML at an extreme hyperparameter corner (the
+            // training data itself was validated at fit time): poison it
+            // the same way.
+            poisoned_nonfinite.add();
+            if (grad) *grad = Vector(p + 1, std::nan(""));
+            return std::nan("");
+          }
+        };
+        return opt::lbfgsMinimize(objective, starts[start_index], box,
+                                  config_.lbfgs);
+      });
+
+  // Ordered reduction: strict < keeps the lowest-indexed restart on ties,
+  // matching the serial reference at any thread count.
   double best_nlml = std::numeric_limits<double>::max();
   Vector best_theta;
-  for (const Vector& s : starts) {
-    const opt::OptResult r = opt::lbfgsMinimize(objective, s, box,
-                                                config_.lbfgs);
+  for (const opt::OptResult& r : restarts) {
     if (std::isfinite(r.value) && r.value < best_nlml) {
       best_nlml = r.value;
       best_theta = r.x;

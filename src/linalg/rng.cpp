@@ -60,4 +60,13 @@ Rng Rng::fork() {
   return Rng(child_seed);
 }
 
+Rng Rng::split(std::uint64_t stream) const {
+  // SplitMix64 finalizer over the (seed, stream) pair: adjacent streams map
+  // to well-separated seeds, and the parent engine is left untouched.
+  std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return Rng(z ^ (z >> 31));
+}
+
 }  // namespace mfbo::linalg

@@ -16,7 +16,7 @@ namespace mfbo::linalg {
 /// Seeded pseudo-random source used throughout the library.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0xC0FFEEu) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 0xC0FFEEu) : seed_(seed), engine_(seed) {}
 
   /// Uniform double in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0);
@@ -51,11 +51,20 @@ class Rng {
   }
 
   /// Fork a child generator with an independent stream (for per-run seeding).
+  /// Advances this generator, so successive forks differ.
   Rng fork();
+
+  /// Deterministic per-index child stream for parallel loops: the child
+  /// depends only on (construction seed, stream), is independent of call
+  /// order, and never advances this generator — so task i gets the same
+  /// stream whether the loop runs serially or on N threads, and sibling
+  /// streams are decorrelated (SplitMix64 of the seed/stream pair).
+  Rng split(std::uint64_t stream) const;
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
   std::normal_distribution<double> normal_{0.0, 1.0};
 };

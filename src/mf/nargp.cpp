@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/telemetry.h"
 
 namespace mfbo::mf {
@@ -119,22 +120,40 @@ Prediction NargpModel::predictHigh(const Vector& x) const {
 
   const std::size_t n_var = std::min(
       config_.n_mc, std::max<std::size_t>(1, config_.n_mc_var));
+
+  // Each sample pushes a fixed draw through the high-fidelity posterior —
+  // independent per index, so samples fan out in chunks over the parallel
+  // pool, writing into per-index slots. (The draws themselves are common
+  // random numbers fixed at fit time; the parallel body consumes no RNG.)
+  Vector sample_mean(config_.n_mc);
+  Vector sample_var(n_var);
+  parallel::parallelForChunked(
+      config_.n_mc, /*grain=*/8, [&](std::size_t lo, std::size_t hi) {
+        Vector ks(n);  // per-chunk scratch; serial path pays this once
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double yl = low.mean + low_sd * mc_draws_[i];
+          for (std::size_t t = 0; t < n; ++t)
+            ks[t] = kernel.k1Scalar(yl, z_train[t][yl_index]) * c2[t] + c3[t];
+          const double mu_z = dot(ks, alpha);
+          sample_mean[i] = std_out.unapply(mu_z);
+          if (i < n_var) {
+            const Vector v = chol.solveLower(ks);
+            const double var_z =
+                std::max(sn2 + k_self - v.squaredNorm(), 1e-12);
+            sample_var[i] = std_out.unapplyVariance(var_z);
+          }
+        }
+      });
+
+  // Ordered accumulation in sample order: every accumulator sums the same
+  // values in the same sequence as the serial loop, so the fused posterior
+  // is byte-identical at any thread count.
   double mean_acc = 0.0, mean_sq_acc = 0.0, var_acc = 0.0;
-  Vector ks(n);
   for (std::size_t i = 0; i < config_.n_mc; ++i) {
-    const double yl = low.mean + low_sd * mc_draws_[i];
-    for (std::size_t t = 0; t < n; ++t)
-      ks[t] = kernel.k1Scalar(yl, z_train[t][yl_index]) * c2[t] + c3[t];
-    const double mu_z = dot(ks, alpha);
-    const double mu = std_out.unapply(mu_z);
-    mean_acc += mu;
-    mean_sq_acc += mu * mu;
-    if (i < n_var) {
-      const Vector v = chol.solveLower(ks);
-      const double var_z = std::max(sn2 + k_self - v.squaredNorm(), 1e-12);
-      var_acc += std_out.unapplyVariance(var_z);
-    }
+    mean_acc += sample_mean[i];
+    mean_sq_acc += sample_mean[i] * sample_mean[i];
   }
+  for (std::size_t i = 0; i < n_var; ++i) var_acc += sample_var[i];
   const double inv_n = 1.0 / static_cast<double>(config_.n_mc);
   const double mean = mean_acc * inv_n;
   const double within = var_acc / static_cast<double>(n_var);  // E[σ²]

@@ -1,6 +1,7 @@
 #include "opt/multistart.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/telemetry.h"
 
 namespace mfbo::opt {
@@ -18,17 +19,26 @@ OptResult multistartMinimize(const ScalarObjective& f,
   static telemetry::Counter& msp_evaluations =
       telemetry::counter("opt.multistart.evaluations");
 
+  // One local refinement per task; each writes into its own slot, so the
+  // objective only needs to be safe for concurrent const invocation.
+  std::vector<OptResult> locals = parallel::parallelMap(
+      starts.size(), [&](std::size_t i) {
+        return nelderMeadMinimize(f, box.clamp(starts[i]), box,
+                                  options.local);
+      });
+
+  // Ordered reduction in start order: strict < keeps the lowest-indexed
+  // winner on ties, and MSP best-start provenance stays exact at any
+  // thread count.
   OptResult best;
   bool first = true;
   std::size_t total_evaluations = 0;
   std::size_t total_iterations = 0;
-  for (std::size_t i = 0; i < starts.size(); ++i) {
-    OptResult local =
-        nelderMeadMinimize(f, box.clamp(starts[i]), box, options.local);
-    total_evaluations += local.evaluations;
-    total_iterations += local.iterations;
-    if (first || local.value < best.value) {
-      best = std::move(local);
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    total_evaluations += locals[i].evaluations;
+    total_iterations += locals[i].iterations;
+    if (first || locals[i].value < best.value) {
+      best = std::move(locals[i]);
       best.best_start = i;
       first = false;
     }

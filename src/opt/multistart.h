@@ -20,7 +20,10 @@ struct MultistartOptions {
 
 /// Run a bounded Nelder-Mead refinement from every start and return the best
 /// terminal result. Starts outside the box are clamped. Requires at least
-/// one start.
+/// one start. Restarts run on the common/parallel.h pool (one start per
+/// task) with an ordered argmin reduction, so the result — including the
+/// best_start provenance index — is identical at any thread count; @p f
+/// must tolerate concurrent const invocation.
 OptResult multistartMinimize(const ScalarObjective& f,
                              const std::vector<Vector>& starts, const Box& box,
                              const MultistartOptions& options = {});

@@ -157,6 +157,49 @@ TEST(ParseArgsDeath, RejectsNonNumericSeed) {
               "non-negative integer");
 }
 
+TEST(ParseArgs, ThreadsFlagSetsCountAndOverride) {
+  const bench::BenchConfig cfg = parse({"--threads", "3"});
+  EXPECT_EQ(cfg.threads, 3u);
+  EXPECT_EQ(parallel::maxThreads(), 3u);  // parseArgs installs the override
+  parallel::setMaxThreads(0);
+}
+
+TEST(ParseArgs, ThreadsDefaultsToAutomatic) {
+  const bench::BenchConfig cfg = parse({});
+  EXPECT_EQ(cfg.threads, 0u);
+  EXPECT_TRUE(cfg.timing);
+}
+
+TEST(ParseArgs, NoTimingFlagDisablesTiming) {
+  const bench::BenchConfig cfg = parse({"--no-timing"});
+  EXPECT_FALSE(cfg.timing);
+}
+
+TEST(ParseArgsDeath, RejectsZeroThreads) {
+  EXPECT_EXIT(parse({"--threads", "0"}), ::testing::ExitedWithCode(2),
+              "positive integer");
+}
+
+TEST(ParseArgsDeath, RejectsNegativeThreads) {
+  EXPECT_EXIT(parse({"--threads", "-4"}), ::testing::ExitedWithCode(2),
+              "positive integer");
+}
+
+TEST(ParseArgsDeath, RejectsNonNumericThreads) {
+  EXPECT_EXIT(parse({"--threads", "auto"}), ::testing::ExitedWithCode(2),
+              "positive integer");
+}
+
+TEST(ParseArgsDeath, RejectsTrailingGarbageInThreads) {
+  EXPECT_EXIT(parse({"--threads", "4x"}), ::testing::ExitedWithCode(2),
+              "positive integer");
+}
+
+TEST(ParseArgsDeath, RejectsMissingThreadsValue) {
+  EXPECT_EXIT(parse({"--threads"}), ::testing::ExitedWithCode(2),
+              "missing value");
+}
+
 TEST(ParseArgsDeath, RejectsUnknownArgument) {
   EXPECT_EXIT(parse({"--frobnicate"}), ::testing::ExitedWithCode(2),
               "unknown argument");
