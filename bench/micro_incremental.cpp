@@ -1,0 +1,159 @@
+// Micro-benchmark for the incremental surrogate update path: speedup and
+// incremental-vs-rebuild posterior agreement in one artifact.
+//
+// addPoint(retrain=false) is the hot loop of every non-retrain synthesis
+// iteration (retrain_every > 1). The incremental path extends the cached
+// Cholesky factor in O(n²) (linalg::Cholesky::appendRow) instead of
+// refactoring the full Gram matrix at O(n³); this bench times both paths
+// on the same append sequence and asserts that their posteriors agree to
+// ≤ 1e-8 at a grid of probe points. It also replays the incremental leg
+// under 1 and 4 pool threads and exits 1 unless the predictions are
+// byte-identical — the PR 3 determinism guarantee extended to the new
+// path (the incremental-vs-rebuild comparison itself is tolerance-based:
+// the two paths order their floating-point sums differently).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "gp/gp_regressor.h"
+#include "gp/kernel.h"
+#include "linalg/rng.h"
+
+namespace {
+
+double objective(const mfbo::linalg::Vector& x) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    acc += std::sin(3.0 * x[i]) + 0.3 * x[i] * x[i];
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mfbo;
+  const bench::BenchConfig cfg = bench::parseArgs(argc, argv);
+  const std::size_t dim = 6;
+  const std::size_t n_base = cfg.full ? 512 : 256;
+  const std::size_t n_appends = 32;
+  const std::size_t n_probes = 64;
+
+  linalg::Rng rng(cfg.seed);
+  std::vector<linalg::Vector> x_base;
+  std::vector<double> y_base;
+  for (std::size_t i = 0; i < n_base; ++i) {
+    x_base.push_back(rng.uniformVector(dim, 0.0, 1.0));
+    y_base.push_back(objective(x_base.back()));
+  }
+  std::vector<linalg::Vector> x_new;
+  for (std::size_t i = 0; i < n_appends; ++i)
+    x_new.push_back(rng.uniformVector(dim, 0.0, 1.0));
+  std::vector<linalg::Vector> probes;
+  for (std::size_t i = 0; i < n_probes; ++i)
+    probes.push_back(rng.uniformVector(dim, 0.0, 1.0));
+
+  // Default hyperparameters via setData (no training): this bench times
+  // the posterior refresh, not the NLML optimization.
+  const auto make_gp = [&](bool incremental) {
+    gp::GpConfig gp_cfg;
+    gp_cfg.seed = cfg.seed;
+    gp_cfg.incremental = incremental;
+    gp::GpRegressor gp(std::make_unique<gp::SeArdKernel>(dim), gp_cfg);
+    gp.setData(x_base, y_base);
+    return gp;
+  };
+
+  const auto append_all = [&](gp::GpRegressor& gp) {
+    for (const linalg::Vector& x : x_new)
+      gp.addPoint(x, objective(x), /*retrain=*/false);
+  };
+
+  // Best-of-3 wall time per leg: the work is deterministic, the machine
+  // is not.
+  const auto time_leg = [&](bool incremental, gp::GpRegressor& out) {
+    double best = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+      gp::GpRegressor gp = make_gp(incremental);
+      const auto start = std::chrono::steady_clock::now();
+      append_all(gp);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (trial == 0 || elapsed.count() < best) best = elapsed.count();
+      if (trial == 2) out = std::move(gp);
+    }
+    return best;
+  };
+
+  gp::GpRegressor incremental_gp = make_gp(true);
+  gp::GpRegressor rebuild_gp = make_gp(false);
+  const double incremental_seconds = time_leg(true, incremental_gp);
+  const double rebuild_seconds = time_leg(false, rebuild_gp);
+  const double speedup = rebuild_seconds / incremental_seconds;
+
+  double max_abs_diff = 0.0;
+  for (const linalg::Vector& q : probes) {
+    const gp::Prediction a = incremental_gp.predict(q);
+    const gp::Prediction b = rebuild_gp.predict(q);
+    max_abs_diff = std::max(max_abs_diff, std::abs(a.mean - b.mean));
+    max_abs_diff = std::max(max_abs_diff, std::abs(a.var - b.var));
+  }
+
+  // Thread-count invariance of the incremental path: same appends under a
+  // 1-thread and a 4-thread pool must give byte-identical predictions.
+  bool identical = true;
+  std::vector<gp::Prediction> serial_preds;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    parallel::setMaxThreads(threads);
+    gp::GpRegressor gp = make_gp(true);
+    append_all(gp);
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const gp::Prediction p = gp.predict(probes[i]);
+      if (threads == 1) {
+        serial_preds.push_back(p);
+      } else {
+        identical = identical && serial_preds[i].mean == p.mean &&
+                    serial_preds[i].var == p.var;
+      }
+    }
+  }
+  parallel::setMaxThreads(0);
+
+  std::printf("# micro_incremental: n=%zu base points, %zu appends, d=%zu\n",
+              n_base, n_appends, dim);
+  std::printf("%-26s %10.4f s\n", "incremental (O(n^2))", incremental_seconds);
+  std::printf("%-26s %10.4f s\n", "full rebuild (O(n^3))", rebuild_seconds);
+  std::printf("%-26s %10.2fx\n", "speedup", speedup);
+  std::printf("%-26s %10.3g\n", "max |posterior diff|", max_abs_diff);
+  std::printf("%-26s %10s\n", "1-vs-4-thread identical",
+              identical ? "yes" : "NO");
+
+  Json doc = bench::artifactHeader(cfg, "micro_incremental", 1);
+  doc.set("n_base", n_base);
+  doc.set("n_appends", n_appends);
+  doc.set("dim", dim);
+  doc.set("incremental_seconds", incremental_seconds);
+  doc.set("rebuild_seconds", rebuild_seconds);
+  doc.set("speedup", speedup);
+  doc.set("max_abs_diff", max_abs_diff);
+  doc.set("identical", identical);
+  bench::writeArtifactFile(cfg, std::move(doc));
+
+  if (max_abs_diff > 1e-8) {
+    std::fprintf(stderr,
+                 "equivalence violation: incremental and rebuilt posteriors "
+                 "differ by %g (> 1e-8)\n",
+                 max_abs_diff);
+    return 1;
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "determinism violation: incremental predictions differ "
+                 "between 1 and 4 pool threads\n");
+    return 1;
+  }
+  return 0;
+}

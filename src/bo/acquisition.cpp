@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numbers>
 
 #include "common/check.h"
 #include "linalg/stats.h"
@@ -26,7 +28,13 @@ double probabilityOfFeasibility(const Prediction& p) {
   MFBO_DCHECK(std::isfinite(p.mean) && std::isfinite(p.var),
               "non-finite prediction: mean=", p.mean, " var=", p.var);
   const double sd = p.sd();
-  if (sd < 1e-12) return p.mean < 0.0 ? 1.0 : 0.0;
+  if (sd < 1e-12) {
+    // Indicator limit, except exactly on the boundary where Φ(−µ/σ) ≡ ½
+    // for every σ > 0 — returning 0 there would misclassify an exactly
+    // boundary-tight constraint as hopeless.
+    if (p.mean == 0.0) return 0.5;
+    return p.mean < 0.0 ? 1.0 : 0.0;
+  }
   return linalg::normalCdf(-p.mean / sd);
 }
 
@@ -34,6 +42,63 @@ double weightedEi(const Prediction& objective, double tau,
                   const std::vector<Prediction>& constraints) {
   double acq = expectedImprovement(objective, tau);
   for (const Prediction& c : constraints) acq *= probabilityOfFeasibility(c);
+  return acq;
+}
+
+namespace {
+
+/// log(φ(λ) + λ·Φ(λ)) — the scale-free EI factor in log space. For
+/// λ ≲ −25 the two terms cancel to ~λ²·ε relative error and Φ itself
+/// heads toward underflow, so the Mills-ratio expansion
+///   φ(λ) + λΦ(λ) = φ(λ)/λ² · (1 − 3/λ² + 15/λ⁴ − O(λ⁻⁶))
+/// takes over (relative error < 945/λ⁸ ≈ 6e-12 at the crossover).
+double logEiFactor(double lambda) {
+  if (lambda > -25.0) {
+    const double h =
+        linalg::normalPdf(lambda) + lambda * linalg::normalCdf(lambda);
+    return h > 0.0 ? std::log(h) : -std::numeric_limits<double>::infinity();
+  }
+  const double l2 = lambda * lambda;
+  const double series = -3.0 / l2 + 15.0 / (l2 * l2) - 105.0 / (l2 * l2 * l2);
+  return -0.5 * l2 - 0.5 * std::log(2.0 * std::numbers::pi) -
+         2.0 * std::log(-lambda) + std::log1p(series);
+}
+
+}  // namespace
+
+double logExpectedImprovement(const Prediction& p, double tau) {
+  MFBO_DCHECK(std::isfinite(p.mean) && std::isfinite(p.var),
+              "non-finite prediction: mean=", p.mean, " var=", p.var);
+  MFBO_DCHECK(std::isfinite(tau), "non-finite incumbent tau=", tau);
+  const double sd = p.sd();
+  if (sd < 1e-12) {
+    const double gap = tau - p.mean;
+    return gap > 0.0 ? std::log(gap)
+                     : -std::numeric_limits<double>::infinity();
+  }
+  const double lambda = (tau - p.mean) / sd;
+  const double log_ei = std::log(sd) + logEiFactor(lambda);
+  MFBO_DCHECK(!std::isnan(log_ei), "logEI(mean=", p.mean, ", sd=", sd,
+              ", tau=", tau, ") is NaN");
+  return log_ei;
+}
+
+double logProbabilityOfFeasibility(const Prediction& p) {
+  MFBO_DCHECK(std::isfinite(p.mean) && std::isfinite(p.var),
+              "non-finite prediction: mean=", p.mean, " var=", p.var);
+  const double sd = p.sd();
+  if (sd < 1e-12) {
+    if (p.mean == 0.0) return std::log(0.5);
+    return p.mean < 0.0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  return linalg::logNormalCdf(-p.mean / sd);
+}
+
+double logWeightedEi(const Prediction& objective, double tau,
+                     const std::vector<Prediction>& constraints) {
+  double acq = logExpectedImprovement(objective, tau);
+  for (const Prediction& c : constraints)
+    acq += logProbabilityOfFeasibility(c);
   return acq;
 }
 

@@ -4,6 +4,12 @@
 //  * expectedImprovement — eq. (5)
 //  * probabilityOfFeasibility — PF_i = Φ(−µ_i/σ_i)
 //  * weightedEi — eq. (6), EI × Π PF_i
+//  * logExpectedImprovement / logProbabilityOfFeasibility / logWeightedEi
+//    — the same quantities in log space. The linear-space product Π PF_i
+//    underflows to exactly 0 wherever several constraints are
+//    simultaneously improbable, flattening the surface the MSP search has
+//    to rank; the log forms stay finite and strictly ordered there. The
+//    synthesis loops optimize the log forms and report the linear ones.
 //  * lowerConfidenceBound — the LCB used by the GASPAD baseline
 //  * upperConfidenceBound — provided for completeness (§2.4 mentions UCB)
 #pragma once
@@ -21,12 +27,29 @@ using gp::Prediction;
 double expectedImprovement(const Prediction& p, double tau);
 
 /// Probability that a constraint posterior satisfies c(x) < 0:
-/// PF = Φ(−µ/σ). Degenerates to the indicator µ < 0 as σ → 0.
+/// PF = Φ(−µ/σ). Degenerates to the indicator µ < 0 as σ → 0, with the
+/// boundary µ == 0 giving the symmetric limit ½ (Φ(−µ/σ) → ½ along any
+/// path with µ ≡ 0).
 double probabilityOfFeasibility(const Prediction& p);
 
 /// Weighted expected improvement (eq. 6): EI(objective) × Π_i PF(c_i).
 double weightedEi(const Prediction& objective, double tau,
                   const std::vector<Prediction>& constraints);
+
+/// log EI (eq. 5 in log space), finite however far µ sits above τ: the
+/// deep-tail factor λΦ(λ)+φ(λ) is evaluated through a Mills-ratio
+/// expansion instead of the catastrophically cancelling direct form.
+/// Returns −∞ only for the exactly-zero degenerate case (σ → 0, µ ≥ τ).
+double logExpectedImprovement(const Prediction& p, double tau);
+
+/// log Φ(−µ/σ) via linalg::logNormalCdf; −∞ only for σ → 0, µ > 0.
+double logProbabilityOfFeasibility(const Prediction& p);
+
+/// log wEI = logEI + Σ_i log PF_i. Equal to log(weightedEi(...)) wherever
+/// the linear product does not underflow; still finite and correctly
+/// ranked where it does. This is what the MSP search should maximize.
+double logWeightedEi(const Prediction& objective, double tau,
+                     const std::vector<Prediction>& constraints);
 
 /// µ − κ·σ; smaller is more promising for minimization (GASPAD's ranking).
 double lowerConfidenceBound(const Prediction& p, double kappa);

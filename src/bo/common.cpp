@@ -40,6 +40,9 @@ Json iterationToJson(const IterationRecord& r) {
                             : Json::numberArray(r.norm_low_var));
   e.set("x_star_l",
         r.x_star_l != nullptr ? vectorToJson(*r.x_star_l) : Json::null());
+  e.set("x_t_raw",
+        r.x_t_raw != nullptr ? vectorToJson(*r.x_t_raw) : Json::null());
+  e.set("deduped", r.deduped);
   e.set("x", r.x != nullptr ? vectorToJson(*r.x) : Json::null());
   if (r.eval != nullptr) {
     e.set("objective", numberOrNull(r.eval->objective));
@@ -233,10 +236,20 @@ Vector minimizeCriterionMsp(const opt::ScalarObjective& criterion,
 
 Vector dedupeCandidate(Vector candidate, const Dataset& data, const Box& box,
                        Rng& rng, double min_dist) {
+  return dedupeCandidate(std::move(candidate), {&data}, box, rng, min_dist);
+}
+
+Vector dedupeCandidate(Vector candidate,
+                       std::initializer_list<const Dataset*> data,
+                       const Box& box, Rng& rng, double min_dist) {
   constexpr int kMaxTries = 16;
+  const auto too_close = [&](const Vector& point) {
+    for (const Dataset* ds : data)
+      if (ds->minDistance(point) < min_dist) return true;
+    return false;
+  };
   double sd = 1e-4;
-  for (int attempt = 0;
-       attempt < kMaxTries && data.minDistance(candidate) < min_dist;
+  for (int attempt = 0; attempt < kMaxTries && too_close(candidate);
        ++attempt, sd *= 2.0) {
     candidate = linalg::gaussianJitterInBox(candidate, sd, box, rng);
   }

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <limits>
 #include <optional>
 #include <string_view>
@@ -51,6 +52,12 @@ struct IterationRecord {
   double best_objective = kNan;  ///< best-so-far high-fidelity objective
   bool feasible_found = false;   ///< a feasible high-fidelity point exists
   const Vector* x_star_l = nullptr;  ///< MFBO step-5 maximizer (unit cube)
+  /// MFBO step-6 maximizer before duplicate nudging (unit cube). The
+  /// eq. (11)/(12) fidelity decision is made at the *post-dedupe* point —
+  /// the one actually evaluated (field `x`); this records the raw
+  /// acquisition maximizer alongside it.
+  const Vector* x_t_raw = nullptr;
+  bool deduped = false;  ///< evaluated point was nudged away from x_t_raw
   const Vector* x = nullptr;         ///< evaluated point (real coordinates)
   const Evaluation* eval = nullptr;  ///< its evaluation
 };
@@ -155,6 +162,14 @@ Vector minimizeCriterionMsp(const opt::ScalarObjective& criterion,
 /// duplicates one — duplicated inputs make GP Gram matrices singular.
 Vector dedupeCandidate(Vector candidate, const Dataset& data, const Box& box,
                        Rng& rng, double min_dist = 1e-8);
+
+/// Same, checked against several datasets at once. MFBO dedupes against
+/// both fidelity archives *before* the eq. (11)/(12) fidelity decision, so
+/// the σ²_l criterion is evaluated at the point actually simulated no
+/// matter which training set it later joins.
+Vector dedupeCandidate(Vector candidate,
+                       std::initializer_list<const Dataset*> data,
+                       const Box& box, Rng& rng, double min_dist = 1e-8);
 
 /// Assemble the final SynthesisResult from a history: picks the best
 /// high-fidelity entry (feasible-first), fills counters from the tracker.

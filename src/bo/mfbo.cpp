@@ -123,9 +123,12 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
     } else {
       tau_l = feas_low ? low.evals[*feas_low].objective
                        : models[0]->bestLowObserved();
+      // Ranked in log space: the linear wEI product underflows to a flat 0
+      // wherever several constraints are simultaneously improbable, which
+      // would blind the MSP search exactly where it must still rank.
       opt::ScalarObjective acq_low = [&](const Vector& u) {
         const auto p = low_predictions(u);
-        return weightedEi(p[0], tau_l, {p.begin() + 1, p.end()});
+        return logWeightedEi(p[0], tau_l, {p.begin() + 1, p.end()});
       };
       x_star_l = maximizeAcquisitionMsp(acq_low, unit, inc_l, inc_h,
                                         options_.msp, rng);
@@ -157,21 +160,33 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
     } else {
       tau_h = feas_high ? high.evals[*feas_high].objective
                         : models[0]->bestHighObserved();
+      // Log-space ranking, as for the low-fidelity acquisition above.
       opt::ScalarObjective acq_high = [&](const Vector& u) {
         const auto p = high_predictions(u);
-        return weightedEi(p[0], tau_h, {p.begin() + 1, p.end()});
+        return logWeightedEi(p[0], tau_h, {p.begin() + 1, p.end()});
       };
       x_t = maximizeAcquisitionMsp(acq_high, unit, inc_l, inc_h, options_.msp,
                                    rng, seeds);
     }
 
+    // Dedupe before the fidelity decision, against both archives (the
+    // chosen fidelity is not known yet): the eq. (11)/(12) σ²_l criterion
+    // must be evaluated at the point actually simulated, not at a raw
+    // maximizer that a later nudge moves.
+    const Vector x_t_raw = x_t;
+    x_t = dedupeCandidate(std::move(x_t), {&low, &high}, unit, rng);
+    const bool deduped = x_t.raw() != x_t_raw.raw();
+
     // Step 7 (§3.4): fidelity selection. Variances are normalized by each
-    // low GP's output scale so γ is dimensionless (eq. 11-12).
+    // low GP's output scale so γ is dimensionless (eq. 11-12). The low
+    // predictions at x_t are computed once and shared with the iteration
+    // record below.
+    const std::vector<gp::Prediction> p_low_t = low_predictions(x_t);
     std::vector<double> norm_vars(n_out);
     double max_norm_var = 0.0;
     for (std::size_t i = 0; i < n_out; ++i) {
       const double sd_out = models[i]->lowOutputSd();
-      norm_vars[i] = models[i]->predictLow(x_t).var / (sd_out * sd_out);
+      norm_vars[i] = p_low_t[i].var / (sd_out * sd_out);
       max_norm_var = std::max(max_norm_var, norm_vars[i]);
     }
     const double threshold = (1.0 + static_cast<double>(nc)) * options_.gamma;
@@ -186,8 +201,6 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
       downgrades_total.add();
     }
 
-    x_t = dedupeCandidate(std::move(x_t), f == Fidelity::kHigh ? high : low,
-                          unit, rng);
     evaluate(x_t, f);
 
     // Step 8: update the training sets / surrogates.
@@ -209,14 +222,20 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
       rec.norm_low_var = std::move(norm_vars);
       rec.cumulative_cost = tracker.cost();
       rec.x_star_l = &x_star_l;
+      rec.x_t_raw = &x_t_raw;
+      rec.deduped = deduped;
       rec.x = &history.back().x;
       rec.eval = &history.back().eval;
-      // Acquisition (or eq. 13 criterion) value at the evaluated point.
+      // Acquisition (or eq. 13 criterion) value at the evaluated point —
+      // one fused MC pass per output, shared across the record. Reported
+      // in linear space (the log form is only the search's ranking).
       {
-        const auto p = high_predictions(x_t);
+        const auto p_high_t = high_predictions(x_t);
         rec.acquisition =
-            ff_high ? predictedViolation({p.begin() + 1, p.end()})
-                    : weightedEi(p[0], tau_h, {p.begin() + 1, p.end()});
+            ff_high
+                ? predictedViolation({p_high_t.begin() + 1, p_high_t.end()})
+                : weightedEi(p_high_t[0], tau_h,
+                             {p_high_t.begin() + 1, p_high_t.end()});
       }
       if (const auto best = bestHighIndex(history)) {
         rec.best_objective = history[*best].eval.objective;

@@ -80,9 +80,12 @@ SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
     } else {
       tau = feasible_idx ? data.evals[*feasible_idx].objective
                          : models[0].bestObserved();
+      // Ranked in log space so constraint-product underflow cannot
+      // flatten the MSP search surface; the record below reports the
+      // linear-space value.
       opt::ScalarObjective acq = [&](const Vector& u) {
-        return weightedEi(models[0].predict(u), tau,
-                          constraint_predictions(u));
+        return logWeightedEi(models[0].predict(u), tau,
+                             constraint_predictions(u));
       };
       // Single-fidelity: only the τ_h incumbent exists (fraction per §4.1).
       const std::optional<Vector> incumbent =

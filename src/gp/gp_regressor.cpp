@@ -106,9 +106,38 @@ void GpRegressor::addPoint(const Vector& x, double y, bool retrain) {
   y_raw_.push_back(y);
   if (retrain) {
     train(/*warm_start=*/true);
-  } else {
-    rebuildPosterior();
+    return;
   }
+  static telemetry::Counter& incremental_updates =
+      telemetry::counter("gp.addpoint_incremental");
+  static telemetry::Counter& incremental_fallbacks =
+      telemetry::counter("gp.addpoint_incremental_fallback");
+  if (config_.incremental && chol_ != nullptr &&
+      chol_->dim() + 1 == x_.size() && y_std_.size() + 1 == x_.size() &&
+      extendPosterior()) {
+    incremental_updates.add();
+    return;
+  }
+  if (config_.incremental && chol_ != nullptr) incremental_fallbacks.add();
+  rebuildPosterior();
+}
+
+bool GpRegressor::extendPosterior() {
+  // The standardizer is fixed between retrains, so the new target joins
+  // y_std_ under the existing transform — exactly as rebuildPosterior
+  // restandardizes only newly appended raw values.
+  const std::size_t n = chol_->dim();
+  const Vector& x_new = x_.back();
+  // Full kernel column against x_ (which already contains x_new): entries
+  // 0..n-1 are the cross terms, entry n is k(x_new, x_new).
+  const Vector col = kernel_->cross(x_, x_new);
+  Vector cross(n);
+  for (std::size_t i = 0; i < n; ++i) cross[i] = col[i];
+  const double sn2 = std::exp(2.0 * log_sigma_n_);
+  if (!chol_->appendRow(cross, col[n] + sn2)) return false;
+  y_std_.push_back(standardizer_.apply(y_raw_.back()));
+  alpha_ = chol_->solve(y_std_);
+  return true;
 }
 
 void GpRegressor::validateData(const std::vector<Vector>& x,

@@ -34,6 +34,12 @@ struct GpConfig {
   double max_log_param = 7.0;
   bool standardize = true;      ///< z-score outputs before fitting
   std::uint64_t seed = 1234;    ///< seed for restart sampling
+  /// O(n²) posterior refresh for addPoint(retrain=false): extend the
+  /// cached Cholesky factor by one row instead of refactoring the full
+  /// Gram matrix. Equivalent to the full rebuild up to roundoff (the
+  /// incremental-vs-rebuild property tests pin ≤1e-8); disable to force
+  /// the O(n³) reference path (used by those tests and the micro bench).
+  bool incremental = true;
 };
 
 /// Exact NLML (eq. 3) for standardized observations, and optionally its
@@ -67,7 +73,11 @@ class GpRegressor {
 
   /// Append one observation. When @p retrain is true the hyperparameters
   /// are re-optimized (warm-started from the current values); otherwise
-  /// only the posterior cache is rebuilt.
+  /// the cached posterior is refreshed — in O(n²) via an incremental
+  /// Cholesky row append when config.incremental is set (falling back to
+  /// a full refactorization if the extension is not positive definite),
+  /// else by the O(n³) full rebuild. The output standardizer stays fixed
+  /// between retrains in either case.
   void addPoint(const Vector& x, double y, bool retrain = true);
 
   /// Posterior mean and variance at @p x (original units, eq. 4).
@@ -110,6 +120,11 @@ class GpRegressor {
   void train(bool warm_start);
   /// Rebuild standardizer, Gram Cholesky and alpha for current params.
   void rebuildPosterior();
+  /// O(n²) posterior refresh after x_/y_raw_ gained one point: extend the
+  /// cached factor with the new kernel column and re-solve alpha. Returns
+  /// false (leaving caches untouched beyond the factor attempt) when no
+  /// consistent extension exists and a full rebuild is required.
+  bool extendPosterior();
 
   std::unique_ptr<Kernel> kernel_;
   GpConfig config_;

@@ -70,6 +70,36 @@ Cholesky Cholesky::factorWithJitter(const Matrix& a, double initial_jitter,
       "Cholesky: matrix not positive definite even with maximum jitter");
 }
 
+bool Cholesky::appendRow(const Vector& b, double c) {
+  const std::size_t n = dim();
+  MFBO_CHECK(b.size() == n, "cross-term size ", b.size(),
+             " does not match dim ", n);
+  MFBO_CHECK(b.allFinite() && std::isfinite(c),
+             "extension column has non-finite entries");
+  static telemetry::Counter& appended =
+      telemetry::counter("linalg.cholesky.appended_rows");
+  static telemetry::Counter& rejected =
+      telemetry::counter("linalg.cholesky.append_rejected");
+  // New off-diagonal row: l = L⁻¹ b (forward substitution, O(n²)); new
+  // pivot: c + jitter − ‖l‖². Identical arithmetic to what tryFactor would
+  // perform on the extended matrix, so a successful append agrees with a
+  // from-scratch refactorization up to summation-order roundoff.
+  const Vector l = solveLower(b);
+  const double pivot = c + jitter_ - l.squaredNorm();
+  if (!(pivot > 0.0) || !std::isfinite(pivot)) {
+    rejected.add();
+    return false;
+  }
+  Matrix grown(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l_(i, j);
+  for (std::size_t j = 0; j < n; ++j) grown(n, j) = l[j];
+  grown(n, n) = std::sqrt(pivot);
+  l_ = std::move(grown);
+  appended.add();
+  return true;
+}
+
 Vector Cholesky::solveLower(const Vector& b) const {
   const std::size_t n = dim();
   MFBO_CHECK(b.size() == n, "rhs size ", b.size(), " does not match dim ", n);

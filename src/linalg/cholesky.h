@@ -26,6 +26,21 @@ class Cholesky {
                                    double initial_jitter = 1e-10,
                                    double max_jitter = 1e-4);
 
+  /// Extend the factor by one row/column in O(n²): given the new column
+  /// [b; c] of the extended matrix A' = [[A, b], [bᵀ, c]] (with @p b the
+  /// cross terms against the existing rows and @p c the new diagonal,
+  /// both *without* jitter — the jitter already baked into this factor is
+  /// added to @p c internally so the extension stays consistent with the
+  /// original factorization), grows L so that L·Lᵀ = A' + jitter·I.
+  ///
+  /// Returns false — leaving the factor untouched — when the extension is
+  /// not positive definite at the current jitter level (a duplicated GP
+  /// input, accumulated roundoff). The caller must then refactor the full
+  /// extended matrix, typically through factorWithJitter's escalation
+  /// ladder; appendRow never escalates jitter itself because a larger
+  /// jitter on the new diagonal alone would no longer factor A + jitter·I.
+  bool appendRow(const Vector& b, double c);
+
   /// Solve A x = b via two triangular solves.
   Vector solve(const Vector& b) const;
 

@@ -16,6 +16,24 @@ double normalCdf(double x) {
   return 0.5 * std::erfc(-x / std::numbers::sqrt2);
 }
 
+double logNormalCdf(double x) {
+  // Φ(x) ≥ ½ here: log1p on the complement keeps full precision where
+  // log(Φ) would evaluate log of a number within rounding of 1.
+  if (x >= 0.0) return std::log1p(-0.5 * std::erfc(x / std::numbers::sqrt2));
+  // erfc is accurate (and far from underflow) down to x = −25, so the
+  // direct evaluation is exact to working precision on this range.
+  if (x > -25.0) return std::log(0.5 * std::erfc(-x / std::numbers::sqrt2));
+  // Deep tail: Mills-ratio asymptotic
+  //   Φ(x) = φ(x)/(−x) · (1 − 1/x² + 3/x⁴ − 15/x⁶ + 105/x⁸ + O(x⁻¹⁰)),
+  // relative error < 945/x¹⁰ ≈ 1e-11 at the x = −25 crossover.
+  const double x2 = x * x;
+  const double x4 = x2 * x2;
+  const double series =
+      -1.0 / x2 + 3.0 / x4 - 15.0 / (x4 * x2) + 105.0 / (x4 * x4);
+  return -0.5 * x2 - 0.5 * std::log(2.0 * std::numbers::pi) -
+         std::log(-x) + std::log1p(series);
+}
+
 double normalQuantile(double p) {
   MFBO_CHECK(p > 0.0 && p < 1.0, "p must be in (0,1), got ", p);
   // Acklam's algorithm.

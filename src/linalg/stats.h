@@ -17,6 +17,13 @@ double normalPdf(double x);
 /// Standard normal cumulative distribution Φ(x).
 double normalCdf(double x);
 
+/// log Φ(x), numerically stable over the whole real line. Φ(x) itself
+/// underflows to 0 below x ≈ −38, flattening any product of tail
+/// probabilities (the wEI feasibility weights); this stays finite and
+/// strictly monotone arbitrarily deep into the tail via the Mills-ratio
+/// asymptotic expansion.
+double logNormalCdf(double x);
+
 /// Inverse standard normal CDF (Acklam's rational approximation,
 /// |error| < 1.2e-9 over (0,1)). Throws std::domain_error outside (0,1).
 double normalQuantile(double p);

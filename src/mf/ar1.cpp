@@ -30,7 +30,14 @@ void Ar1Model::fit(std::vector<Vector> x_low, std::vector<double> y_low,
 
 void Ar1Model::addLow(const Vector& x, double y, bool retrain) {
   low_gp_.addPoint(x, y, retrain);
-  rebuildDelta(retrain);
+  if (retrain) {
+    rebuildDelta(/*retrain=*/true);
+    return;
+  }
+  // Non-retrain fast path, mirroring NARGP: ρ and the discrepancy
+  // residuals stay frozen at the last retrain (the high set did not
+  // grow), so the whole update is the low GP's O(n²) factor extension.
+  // The µ_l drift is folded into ρ/δ at the next retrain.
 }
 
 void Ar1Model::addHigh(const Vector& x, double y, bool retrain) {
@@ -38,7 +45,15 @@ void Ar1Model::addHigh(const Vector& x, double y, bool retrain) {
              " does not match x_dim ", x_dim_);
   x_high_.push_back(x);
   y_high_.push_back(y);
-  rebuildDelta(retrain);
+  if (retrain || !delta_gp_.fitted()) {
+    rebuildDelta(/*retrain=*/true);
+    return;
+  }
+  // Keep ρ frozen and append just the new residual to the discrepancy GP
+  // incrementally (O(n²)) instead of re-estimating ρ and rebuilding every
+  // residual at O(n³).
+  delta_gp_.addPoint(x, y - rho_ * low_gp_.predict(x).mean,
+                     /*retrain=*/false);
 }
 
 void Ar1Model::rebuildDelta(bool retrain) {

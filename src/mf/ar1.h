@@ -16,7 +16,8 @@ struct Ar1Config {
 
 /// Linear two-fidelity cokriging: a low-fidelity GP plus an independent
 /// discrepancy GP on the residuals y_h − ρ·µ_l(x_h). The scale ρ is
-/// estimated by least squares between µ_l(x_h) and y_h at every rebuild.
+/// estimated by least squares between µ_l(x_h) and y_h at every retrain;
+/// non-retrain updates keep ρ frozen and extend the GPs incrementally.
 class Ar1Model final : public MfSurrogate {
  public:
   explicit Ar1Model(std::size_t x_dim, Ar1Config config = {});

@@ -45,9 +45,22 @@ void NargpModel::fit(std::vector<Vector> x_low, std::vector<double> y_low,
 
 void NargpModel::addLow(const Vector& x, double y, bool retrain) {
   low_gp_.addPoint(x, y, retrain);
-  // µ_l changed, so the high-fidelity augmented inputs must be refreshed
-  // even when hyperparameters stay put.
-  rebuildHigh(retrain);
+  if (retrain) {
+    // µ_l moved everywhere, so the high-fidelity augmented inputs are
+    // refreshed along with the hyperparameters.
+    rebuildHigh(/*retrain=*/true);
+    return;
+  }
+  // Non-retrain fast path: the high GP keeps the µ_l augmentation from
+  // the last retrain (its training set did not grow), so the whole fused
+  // update is the low GP's O(n²) factor extension. predictHigh still
+  // integrates over the *updated* low posterior at query time; the µ_l
+  // drift in the frozen training augmentation is folded in at the next
+  // retrain. The eq. (10) draws are reused so the fused acquisition
+  // surface stays fixed between model updates.
+  static telemetry::Counter& frozen_low =
+      telemetry::counter("mf.nargp.incremental_add_low");
+  frozen_low.add();
 }
 
 void NargpModel::addHigh(const Vector& x, double y, bool retrain) {
@@ -55,7 +68,18 @@ void NargpModel::addHigh(const Vector& x, double y, bool retrain) {
              " does not match x_dim ", x_dim_);
   x_high_.push_back(x);
   y_high_.push_back(y);
-  rebuildHigh(retrain);
+  if (retrain || !high_gp_.fitted()) {
+    rebuildHigh(/*retrain=*/true);
+    return;
+  }
+  // Non-retrain fast path: existing rows keep their frozen augmentation;
+  // only the new row is augmented (with the current µ_l) and appended to
+  // the high GP's factor in O(n²). Draws are reused as in addLow.
+  static telemetry::Counter& incremental_high =
+      telemetry::counter("mf.nargp.incremental_add_high");
+  incremental_high.add();
+  high_gp_.addPoint(augment(x, low_gp_.predict(x).mean), y,
+                    /*retrain=*/false);
 }
 
 void NargpModel::rebuildHigh(bool retrain) {

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "bo/acquisition.h"
 #include "linalg/stats.h"
@@ -54,6 +56,13 @@ TEST(ProbabilityOfFeasibility, ApproachesIndicatorAsVarianceVanishes) {
   EXPECT_DOUBLE_EQ(probabilityOfFeasibility({1.0, 0.0}), 0.0);
 }
 
+TEST(ProbabilityOfFeasibility, DegenerateBoundaryIsHalf) {
+  // σ → 0 with µ exactly on the constraint boundary: Φ(−µ/σ) → ½ along
+  // any path with µ ≡ 0 (this used to collapse to 0, biasing the search
+  // away from boundary points with confident posteriors).
+  EXPECT_DOUBLE_EQ(probabilityOfFeasibility({0.0, 0.0}), 0.5);
+}
+
 TEST(ProbabilityOfFeasibility, MatchesNormalCdf) {
   // PF = Φ(−µ/σ) for c < 0 feasibility.
   const double mu = 0.8, sd = 2.0;
@@ -81,6 +90,67 @@ TEST(WeightedEi, SuppressedInLikelyInfeasibleRegion) {
   const Prediction obj{-10.0, 0.01};  // huge raw improvement
   const Prediction con{5.0, 0.01};    // almost certainly infeasible
   EXPECT_LT(weightedEi(obj, 0.0, {con}), 1e-6);
+}
+
+TEST(LogAcquisition, MatchesLogOfLinearFormsInHealthyRegime) {
+  // Wherever the linear product is comfortably above the underflow floor,
+  // the log forms must be exactly log(linear) up to roundoff.
+  const double tau = 1.0;
+  for (double mu : {-2.0, 0.0, 0.9, 2.0})
+    for (double sd : {0.2, 1.0, 3.0}) {
+      const Prediction obj{mu, sd * sd};
+      EXPECT_NEAR(logExpectedImprovement(obj, tau),
+                  std::log(expectedImprovement(obj, tau)), 1e-10);
+      const Prediction con{mu, sd * sd};
+      EXPECT_NEAR(logProbabilityOfFeasibility(con),
+                  std::log(probabilityOfFeasibility(con)), 1e-10);
+      const std::vector<Prediction> cons{{-0.5, 0.2}, {0.1, 0.3}};
+      EXPECT_NEAR(logWeightedEi(obj, tau, cons),
+                  std::log(weightedEi(obj, tau, cons)), 1e-10);
+    }
+}
+
+TEST(LogAcquisition, DegenerateCasesMatchLinearLimits) {
+  // σ → 0: EI → max(0, τ−µ), PF → indicator (with the ½ boundary case).
+  EXPECT_NEAR(logExpectedImprovement({-2.0, 0.0}, 0.0), std::log(2.0), 1e-12);
+  EXPECT_EQ(logExpectedImprovement({2.0, 0.0}, 0.0),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(logProbabilityOfFeasibility({-1.0, 0.0}), 0.0);
+  EXPECT_EQ(logProbabilityOfFeasibility({1.0, 0.0}),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(logProbabilityOfFeasibility({0.0, 0.0}), std::log(0.5), 1e-12);
+}
+
+TEST(LogAcquisition, RanksWhereLinearWeiUnderflowsToZero) {
+  // Several confidently-infeasible constraints drive the linear product
+  // below DBL_MIN: both candidates score exactly 0 and the MSP search is
+  // blind. The log form stays finite and prefers the candidate whose
+  // constraints are (slightly) less hopeless.
+  const Prediction obj{0.0, 1.0};
+  const double tau = 1.0;
+  const std::vector<Prediction> bad(4, Prediction{40.0, 1.0});
+  const std::vector<Prediction> worse(4, Prediction{45.0, 1.0});
+  EXPECT_EQ(weightedEi(obj, tau, bad), 0.0);
+  EXPECT_EQ(weightedEi(obj, tau, worse), 0.0);
+  const double log_bad = logWeightedEi(obj, tau, bad);
+  const double log_worse = logWeightedEi(obj, tau, worse);
+  EXPECT_TRUE(std::isfinite(log_bad));
+  EXPECT_TRUE(std::isfinite(log_worse));
+  EXPECT_GT(log_bad, log_worse);
+}
+
+TEST(LogAcquisition, LogEiFiniteAndMonotoneDeepAboveTau) {
+  // µ far above τ: linear EI underflows to 0, log EI must keep strictly
+  // decreasing in µ (both sides of the λ = −25 Mills-ratio crossover).
+  const double tau = 0.0;
+  double prev = logExpectedImprovement({10.0, 1.0}, tau);
+  EXPECT_TRUE(std::isfinite(prev));
+  for (double mu : {20.0, 24.9, 25.1, 40.0, 100.0, 300.0}) {
+    const double cur = logExpectedImprovement({mu, 1.0}, tau);
+    EXPECT_TRUE(std::isfinite(cur)) << "mu=" << mu;
+    EXPECT_LT(cur, prev) << "mu=" << mu;
+    prev = cur;
+  }
 }
 
 TEST(ConfidenceBounds, Ordering) {

@@ -1,0 +1,296 @@
+// Tests for the incremental-update layer: Cholesky::appendRow and the
+// O(n²) addPoint(retrain=false) posterior refresh it enables, pinned
+// against the O(n³) from-scratch rebuild at every level of the surrogate
+// stack (factor → GP → fused multi-fidelity model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "gp/gp_regressor.h"
+#include "gp/kernel.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "linalg/rng.h"
+#include "mf/ar1.h"
+#include "mf/nargp.h"
+
+namespace {
+
+using namespace mfbo;
+using linalg::Cholesky;
+using linalg::Matrix;
+using linalg::Rng;
+using linalg::Vector;
+
+// Random SPD matrix B·Bᵀ + ridge·I.
+Matrix randomSpd(std::size_t n, Rng& rng, double ridge = 2.0) {
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+      a(i, j) = acc + (i == j ? ridge : 0.0);
+    }
+  return a;
+}
+
+Matrix leadingBlock(const Matrix& a, std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) out(i, j) = a(i, j);
+  return out;
+}
+
+// ----------------------------------------------------- Cholesky::appendRow --
+
+TEST(IncrementalCholesky, AppendRowMatchesFullFactor) {
+  Rng rng(7);
+  for (std::size_t n : {2u, 5u, 12u}) {
+    const Matrix a = randomSpd(n + 1, rng);
+    Cholesky inc = Cholesky::factor(leadingBlock(a, n));
+    Vector b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = a(i, n);
+    ASSERT_TRUE(inc.appendRow(b, a(n, n)));
+    const Cholesky full = Cholesky::factor(a);
+    EXPECT_EQ(inc.dim(), n + 1);
+    EXPECT_LT(Matrix::maxAbsDiff(inc.lower(), full.lower()), 1e-10);
+  }
+}
+
+TEST(IncrementalCholesky, SolveMatchesFullFactorAfterAppend) {
+  Rng rng(11);
+  const std::size_t n = 9;
+  const Matrix a = randomSpd(n + 1, rng);
+  Cholesky inc = Cholesky::factor(leadingBlock(a, n));
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = a(i, n);
+  ASSERT_TRUE(inc.appendRow(b, a(n, n)));
+  const Cholesky full = Cholesky::factor(a);
+  const Vector rhs = rng.normalVector(n + 1);
+  EXPECT_LT(linalg::maxAbsDiff(inc.solve(rhs), full.solve(rhs)), 1e-10);
+  EXPECT_NEAR(inc.logDet(), full.logDet(), 1e-10);
+}
+
+TEST(IncrementalCholesky, RejectsNonPdExtensionLeavingFactorUntouched) {
+  Rng rng(13);
+  const std::size_t n = 6;
+  const Matrix a = randomSpd(n, rng);
+  Cholesky chol = Cholesky::factor(a);
+  const Matrix before = chol.lower();
+  // New column duplicating column 0 with a *smaller* diagonal: the Schur
+  // complement c − bᵀA⁻¹b is exactly −1, so no consistent extension exists.
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = a(i, 0);
+  EXPECT_FALSE(chol.appendRow(b, a(0, 0) - 1.0));
+  EXPECT_EQ(chol.dim(), n);
+  EXPECT_EQ(Matrix::maxAbsDiff(chol.lower(), before), 0.0);
+}
+
+TEST(IncrementalCholesky, AppendStaysConsistentWithBakedInJitter) {
+  // A matrix that only factors with jitter: two duplicated rows. The
+  // appended column must receive the *same* jitter on its diagonal so that
+  // L·Lᵀ reconstructs A' + jitter·I.
+  Rng rng(17);
+  Matrix a = randomSpd(4, rng, 0.0);
+  for (std::size_t j = 0; j < 4; ++j) a(1, j) = a(0, j);
+  for (std::size_t i = 0; i < 4; ++i) a(i, 1) = a(i, 0);
+  a(1, 1) = a(0, 0);
+  Cholesky chol = Cholesky::factorWithJitter(a);
+  const double jitter = chol.jitterUsed();
+  ASSERT_GT(jitter, 0.0);
+
+  // The jittered factor is near-singular, so ‖L⁻¹b‖² can be ~‖b‖²/jitter;
+  // pick the new diagonal from the actual Schur complement so the
+  // extension is PD with a comfortable pivot of 1.
+  const Vector b = rng.normalVector(4);
+  const double c = chol.solveLower(b).squaredNorm() - jitter + 1.0;
+  ASSERT_TRUE(chol.appendRow(b, c));
+
+  // Reconstruct row/col 4 of L·Lᵀ and compare with [b; c + jitter].
+  const Matrix& l = chol.lower();
+  for (std::size_t i = 0; i < 5; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= std::min<std::size_t>(i, 4); ++k)
+      acc += l(i, k) * l(4, k);
+    const double expected = i < 4 ? b[i] : c + jitter;
+    EXPECT_NEAR(acc, expected, 1e-10);
+  }
+}
+
+// ------------------------------------------- GpRegressor incremental path --
+
+double objective3d(const Vector& x) {
+  return std::sin(3.0 * x[0]) + x[1] * x[1] - 0.5 * std::cos(2.0 * x[2]);
+}
+
+// Property test: a GP updated through the O(n²) incremental path and one
+// forced onto the O(n³) rebuild path are the same model up to roundoff,
+// for both kernels and with/without output standardization.
+TEST(IncrementalGp, RandomAppendsMatchFullRebuild) {
+  Rng rng(23);
+  for (const bool standardize : {true, false}) {
+    gp::GpConfig base;
+    base.seed = 99;
+    base.standardize = standardize;
+    gp::GpConfig reference = base;
+    reference.incremental = false;
+
+    gp::GpRegressor inc(std::make_unique<gp::SeArdKernel>(3), base);
+    gp::GpRegressor ref(std::make_unique<gp::SeArdKernel>(3), reference);
+    std::vector<Vector> x;
+    std::vector<double> y;
+    for (int i = 0; i < 10; ++i) {
+      x.push_back(rng.uniformVector(3));
+      y.push_back(objective3d(x.back()));
+    }
+    inc.setData(x, y);
+    ref.setData(x, y);
+
+    for (int i = 0; i < 8; ++i) {
+      const Vector xn = rng.uniformVector(3);
+      const double yn = objective3d(xn);
+      inc.addPoint(xn, yn, /*retrain=*/false);
+      ref.addPoint(xn, yn, /*retrain=*/false);
+    }
+    ASSERT_EQ(inc.size(), 18u);
+    for (int i = 0; i < 16; ++i) {
+      const Vector q = rng.uniformVector(3);
+      const gp::Prediction a = inc.predict(q);
+      const gp::Prediction b = ref.predict(q);
+      EXPECT_NEAR(a.mean, b.mean, 1e-8) << "standardize=" << standardize;
+      EXPECT_NEAR(a.var, b.var, 1e-8) << "standardize=" << standardize;
+    }
+  }
+}
+
+TEST(IncrementalGp, DuplicateAppendStillMatchesRebuild) {
+  // Appending an exact duplicate of a training input is the classic
+  // near-singular extension; whatever internal path is taken (append or
+  // fallback refactorization), the posterior must match the reference.
+  Rng rng(29);
+  gp::GpConfig base;
+  base.seed = 7;
+  gp::GpConfig reference = base;
+  reference.incremental = false;
+  gp::GpRegressor inc(std::make_unique<gp::SeArdKernel>(2), base);
+  gp::GpRegressor ref(std::make_unique<gp::SeArdKernel>(2), reference);
+  std::vector<Vector> x;
+  std::vector<double> y;
+  for (int i = 0; i < 8; ++i) {
+    x.push_back(rng.uniformVector(2));
+    y.push_back(x.back()[0] - x.back()[1]);
+  }
+  inc.setData(x, y);
+  ref.setData(x, y);
+  inc.addPoint(x[3], y[3], false);
+  ref.addPoint(x[3], y[3], false);
+  for (int i = 0; i < 8; ++i) {
+    const Vector q = rng.uniformVector(2);
+    EXPECT_NEAR(inc.predict(q).mean, ref.predict(q).mean, 1e-8);
+    EXPECT_NEAR(inc.predict(q).var, ref.predict(q).var, 1e-8);
+  }
+}
+
+TEST(IncrementalGp, RetrainAfterIncrementalAppendsIsConsistent) {
+  // Interleave non-retrain appends with a final retrain: the incremental
+  // bookkeeping must leave the training set in a state from which a full
+  // retrain produces the same model as one trained on the data directly.
+  Rng rng(31);
+  gp::GpConfig cfg;
+  cfg.seed = 5;
+  gp::GpRegressor stepped(std::make_unique<gp::SeArdKernel>(2), cfg);
+  gp::GpRegressor direct(std::make_unique<gp::SeArdKernel>(2), cfg);
+  std::vector<Vector> x;
+  std::vector<double> y;
+  for (int i = 0; i < 9; ++i) {
+    x.push_back(rng.uniformVector(2));
+    y.push_back(std::sin(4.0 * x.back()[0]) + x.back()[1]);
+  }
+  stepped.fit({x.begin(), x.begin() + 6}, {y.begin(), y.begin() + 6});
+  stepped.addPoint(x[6], y[6], false);
+  stepped.addPoint(x[7], y[7], false);
+  stepped.addPoint(x[8], y[8], true);  // warm-started retrain on all 9
+  direct.fit(x, y);
+  // Same data, but the warm start can land a different NLML local optimum;
+  // compare the data the models hold, not the hyperparameters.
+  ASSERT_EQ(stepped.size(), direct.size());
+  for (std::size_t i = 0; i < stepped.size(); ++i) {
+    EXPECT_EQ(linalg::maxAbsDiff(stepped.inputs()[i], direct.inputs()[i]), 0.0);
+    EXPECT_EQ(stepped.targets()[i], direct.targets()[i]);
+  }
+}
+
+// -------------------------------------------- fused models, retrain=false --
+
+double lowFn(const Vector& x) { return std::sin(6.0 * x[0]) + x[1]; }
+double highFn(const Vector& x) {
+  return 1.2 * lowFn(x) + 0.3 * x[0] * x[0] - 0.1;
+}
+
+template <class Model, class Config>
+void expectNonRetrainPathsMatch(Config base, Config reference,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  Model inc(2, base);
+  Model ref(2, reference);
+  std::vector<Vector> xl, xh;
+  std::vector<double> yl, yh;
+  for (int i = 0; i < 14; ++i) {
+    xl.push_back(rng.uniformVector(2));
+    yl.push_back(lowFn(xl.back()));
+  }
+  for (int i = 0; i < 6; ++i) {
+    xh.push_back(xl[i]);
+    yh.push_back(highFn(xh.back()));
+  }
+  inc.fit(xl, yl, xh, yh);
+  ref.fit(xl, yl, xh, yh);
+
+  for (int i = 0; i < 3; ++i) {
+    const Vector x = rng.uniformVector(2);
+    inc.addLow(x, lowFn(x), /*retrain=*/false);
+    ref.addLow(x, lowFn(x), /*retrain=*/false);
+  }
+  for (int i = 0; i < 2; ++i) {
+    const Vector x = rng.uniformVector(2);
+    inc.addHigh(x, highFn(x), /*retrain=*/false);
+    ref.addHigh(x, highFn(x), /*retrain=*/false);
+  }
+  ASSERT_EQ(inc.numLow(), 17u);
+  ASSERT_EQ(inc.numHigh(), 8u);
+  for (int i = 0; i < 10; ++i) {
+    const Vector q = rng.uniformVector(2);
+    EXPECT_NEAR(inc.predictLow(q).mean, ref.predictLow(q).mean, 1e-8);
+    EXPECT_NEAR(inc.predictLow(q).var, ref.predictLow(q).var, 1e-8);
+    EXPECT_NEAR(inc.predictHigh(q).mean, ref.predictHigh(q).mean, 1e-8);
+    EXPECT_NEAR(inc.predictHigh(q).var, ref.predictHigh(q).var, 1e-8);
+  }
+}
+
+TEST(IncrementalNargp, NonRetrainPathsMatchAcrossIncrementalFlag) {
+  mf::NargpConfig base;
+  base.seed = 41;
+  base.low.seed = 42;
+  base.high.seed = 43;
+  mf::NargpConfig reference = base;
+  reference.low.incremental = false;
+  reference.high.incremental = false;
+  expectNonRetrainPathsMatch<mf::NargpModel>(base, reference, 37);
+}
+
+TEST(IncrementalAr1, NonRetrainPathsMatchAcrossIncrementalFlag) {
+  mf::Ar1Config base;
+  base.low.seed = 51;
+  base.delta.seed = 52;
+  mf::Ar1Config reference = base;
+  reference.low.incremental = false;
+  reference.delta.incremental = false;
+  expectNonRetrainPathsMatch<mf::Ar1Model>(base, reference, 53);
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 // Unit and property tests for the mfbo::linalg substrate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -375,6 +376,46 @@ TEST(Stats, NormalPdfCdfKnownValues) {
   EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
   EXPECT_NEAR(normalCdf(1.959963984540054), 0.975, 1e-9);
   EXPECT_NEAR(normalCdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(Stats, LogNormalCdfMatchesHighPrecisionReferences) {
+  // References computed with 40-digit arithmetic (mpmath): the three
+  // branches (log1p above 0, erfc log in the middle, Mills-ratio
+  // asymptotic below −25) must all track log Φ to high relative accuracy.
+  const struct {
+    double x, reference;
+  } cases[] = {
+      {-100.0, -5005.5242086942050886},
+      {-30.0, -454.32124395634319711},
+      {-25.5, -329.28414898717953476},
+      {-25.0, -316.63940800802025894},
+      {-24.5, -304.24427074096371117},
+      {-8.0, -35.013437159914549896},
+      {-1.0, -1.8410216450092635058},
+      {0.0, -0.69314718055994530942},
+      {1.0, -0.17275377902344988953},
+      {8.0, -6.2209605742717860585e-16},
+  };
+  for (const auto& c : cases)
+    EXPECT_NEAR(logNormalCdf(c.x), c.reference,
+                1e-12 * std::max(1.0, std::abs(c.reference)))
+        << "x=" << c.x;
+}
+
+TEST(Stats, LogNormalCdfStrictlyIncreasing) {
+  // Strict monotonicity across all branch crossovers — ranking is exactly
+  // what the log-space acquisition relies on where the linear CDF is flat 0.
+  double prev = logNormalCdf(-300.0);
+  for (double x = -299.5; x <= 10.0; x += 0.5) {
+    const double cur = logNormalCdf(x);
+    EXPECT_GT(cur, prev) << "x=" << x;
+    prev = cur;
+  }
+}
+
+TEST(Stats, LogNormalCdfAgreesWithLinearCdfWhereItDoesNotUnderflow) {
+  for (double x : {-8.0, -3.0, -0.5, 0.0, 0.5, 3.0})
+    EXPECT_NEAR(logNormalCdf(x), std::log(normalCdf(x)), 1e-12) << "x=" << x;
 }
 
 TEST(Stats, QuantileInvertsCdf) {
