@@ -14,6 +14,10 @@
 //                byte-identical at any thread count
 //   --out FILE   write a machine-readable JSON artifact with the per-run
 //                results and a telemetry metrics snapshot
+//   --spans      enable the hierarchical span profiler; the --out artifact
+//                gains a "spans" phase tree (timing-free under --no-timing)
+//   --trace FILE write a JSONL event trace (run_start/iteration/run_end)
+//                for tools/run_report.py; exits 2 on an unwritable path
 //   --help       print usage and exit
 #pragma once
 
@@ -23,6 +27,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +36,7 @@
 #include "bo/result.h"
 #include "common/json.h"
 #include "common/parallel.h"
+#include "common/spans.h"
 #include "common/telemetry.h"
 #include "linalg/stats.h"
 
@@ -41,7 +48,12 @@ struct BenchConfig {
   std::uint64_t seed = 1000;
   std::size_t threads = 0;  // 0 = auto (MFBO_THREADS env / hardware)
   bool timing = true;       // false: deterministic artifacts (--no-timing)
-  std::string out;  // artifact path; empty = no artifact
+  bool spans = false;       // true: span profiler on (--spans)
+  std::string out;    // artifact path; empty = no artifact
+  std::string trace;  // JSONL trace path; empty = no trace
+  // Keeps the installed trace sink alive for the whole bench run (the
+  // registry borrows it); copied along with the config.
+  std::shared_ptr<telemetry::TraceWriter> trace_writer;
 
   std::size_t runs(std::size_t quick_default, std::size_t full_default) const {
     if (runs_override > 0) return runs_override;
@@ -56,7 +68,12 @@ struct BenchConfig {
 inline void printUsage(std::FILE* stream, const char* prog) {
   std::fprintf(stream,
                "usage: %s [--quick|--full] [--runs N] [--seed S] "
-               "[--threads N] [--no-timing] [--out FILE] [--help]\n",
+               "[--threads N] [--no-timing] [--out FILE] [--spans] "
+               "[--trace FILE] [--help]\n"
+               "  --spans       enable the span profiler; --out artifacts "
+               "gain a 'spans' phase tree\n"
+               "  --trace FILE  write a JSONL event trace consumable by "
+               "tools/run_report.py\n",
                prog);
 }
 
@@ -99,10 +116,26 @@ inline BenchConfig parseArgs(int argc, char** argv) {
       parallel::setMaxThreads(cfg.threads);
     } else if (std::strcmp(argv[i], "--no-timing") == 0) {
       cfg.timing = false;
+    } else if (std::strcmp(argv[i], "--spans") == 0) {
+      cfg.spans = true;
+      spans::setEnabled(true);
     } else if (std::strcmp(argv[i], "--out") == 0) {
       if (i + 1 >= argc) fail("missing value for", argv[i]);
       cfg.out = argv[++i];
       if (cfg.out.empty()) fail("--out wants a file path, got", "");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) fail("missing value for", argv[i]);
+      cfg.trace = argv[++i];
+      if (cfg.trace.empty()) fail("--trace wants a file path, got", "");
+      try {
+        // Open (and truncate) up front: an unwritable path must be a
+        // startup error, not a warning after minutes of synthesis.
+        cfg.trace_writer =
+            std::make_shared<telemetry::TraceWriter>(cfg.trace);
+      } catch (const std::runtime_error&) {
+        fail("--trace path is not writable:", cfg.trace.c_str());
+      }
+      telemetry::setTraceSink(cfg.trace_writer.get());
     } else {
       fail("unknown argument", argv[i]);
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/spans.h"
 #include "common/telemetry.h"
 
 namespace mfbo::bo {
@@ -24,6 +25,7 @@ SynthesisResult DeBaseline::run(Problem& problem, std::uint64_t seed) const {
   MFBO_CHECK(d > 0, "problem has zero dimensions");
   const Box box = problem.bounds();
   Rng rng(seed);
+  const spans::ScopedSpan run_span("de");
   traceRunStart("de", problem, seed, options_.max_sims);
   static telemetry::Counter& generations_total =
       telemetry::counter("bo.de.generations");
@@ -34,6 +36,8 @@ SynthesisResult DeBaseline::run(Problem& problem, std::uint64_t seed) const {
   std::vector<HistoryEntry> history;
 
   auto evaluate = [&](const Vector& x) {
+    const spans::ScopedSpan sim_span("simulate_high");
+    spans::addCounter("sims_high");
     Evaluation eval = problem.evaluate(x, Fidelity::kHigh);
     tracker.charge(Fidelity::kHigh);
     history.push_back({x, eval, Fidelity::kHigh, tracker.cost()});
@@ -76,6 +80,7 @@ SynthesisResult DeBaseline::run(Problem& problem, std::uint64_t seed) const {
     // One progress record per generation (every trial costs a simulation,
     // so per-trial events would dwarf the BO algorithms' traces).
     if (iterationWanted(options_.observer) && !history.empty()) {
+      const spans::ScopedSpan observe_span("observe");
       IterationRecord rec;
       rec.algo = "de";
       rec.iteration = generation;

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <memory>
 #include <numeric>
+#include <optional>
 
 #include "bo/acquisition.h"
 #include "common/check.h"
+#include "common/spans.h"
 #include "common/telemetry.h"
 
 namespace mfbo::bo {
@@ -38,6 +40,7 @@ SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
   const Box real_box = problem.bounds();
   const Box unit = Box::unitCube(d);
   Rng rng(seed);
+  const spans::ScopedSpan run_span("gaspad");
   traceRunStart("gaspad", problem, seed, options_.max_sims);
   static telemetry::Counter& iterations_total =
       telemetry::counter("bo.gaspad.iterations");
@@ -49,6 +52,8 @@ SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
   Dataset data;
 
   auto evaluate = [&](const Vector& u) {
+    const spans::ScopedSpan sim_span("simulate_high");
+    spans::addCounter("sims_high");
     const Vector x_real = real_box.fromUnit(u);
     Evaluation eval = problem.evaluate(x_real, Fidelity::kHigh);
     tracker.charge(Fidelity::kHigh);
@@ -70,6 +75,7 @@ SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
     models.emplace_back(std::make_unique<gp::SeArdKernel>(d), cfg);
   }
   auto fit_all = [&] {
+    const spans::ScopedSpan fit_span("fit_high");
     models[0].fit(data.x, data.objectives());
     for (std::size_t i = 0; i < nc; ++i)
       models[1 + i].fit(data.x, data.constraintColumn(i));
@@ -85,7 +91,10 @@ SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
     const std::size_t pop =
         std::min<std::size_t>(options_.population, order.size());
 
-    // DE/rand/1/bin children from the elite pool.
+    // DE/rand/1/bin children from the elite pool; generation plus LCB
+    // screening together form this algorithm's acquisition phase.
+    std::optional<spans::ScopedSpan> phase_span;
+    phase_span.emplace("acq_high");
     std::vector<Vector> children;
     children.reserve(options_.children);
     for (std::size_t c = 0; c < options_.children; ++c) {
@@ -133,6 +142,8 @@ SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
       }
     }
 
+    spans::addCounter("children_screened", children.size());
+    phase_span.reset();
     children_total.add(children.size());
     evaluate(dedupeCandidate(std::move(best_child), data, unit, rng));
 
@@ -140,6 +151,7 @@ SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
                          iteration % options_.retrain_every == 0;
 
     if (iterationWanted(options_.observer)) {
+      const spans::ScopedSpan observe_span("observe");
       IterationRecord rec;
       rec.algo = "gaspad";
       rec.iteration = iteration;
@@ -162,6 +174,7 @@ SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
     if (retrain) {
       fit_all();
     } else {
+      const spans::ScopedSpan fit_span("fit_high");
       models[0].addPoint(data.x.back(), data.evals.back().objective, false);
       for (std::size_t i = 0; i < nc; ++i)
         models[1 + i].addPoint(data.x.back(),

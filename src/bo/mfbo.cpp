@@ -4,6 +4,7 @@
 
 #include "bo/acquisition.h"
 #include "common/check.h"
+#include "common/spans.h"
 #include "common/telemetry.h"
 
 namespace mfbo::bo {
@@ -27,6 +28,7 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
   const Box unit = Box::unitCube(d);
   const double ratio = problem.costRatio();
   Rng rng(seed);
+  const spans::ScopedSpan run_span("mfbo");
   traceRunStart("mfbo", problem, seed, options_.budget);
   static telemetry::Counter& iterations_total =
       telemetry::counter("bo.mfbo.iterations");
@@ -40,6 +42,9 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
   Dataset low, high;
 
   auto evaluate = [&](const Vector& u, Fidelity f) {
+    const bool hi = f == Fidelity::kHigh;
+    const spans::ScopedSpan sim_span(hi ? "simulate_high" : "simulate_low");
+    spans::addCounter(hi ? "sims_high" : "sims_low");
     const Vector x_real = real_box.fromUnit(u);
     Evaluation eval = problem.evaluate(x_real, f);
     tracker.charge(f);
@@ -113,6 +118,8 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
     Vector x_star_l;
     double tau_l = IterationRecord::kNan;
     const bool ff_low = nc > 0 && !feas_low && options_.use_first_feasible;
+    std::optional<spans::ScopedSpan> phase_span;
+    phase_span.emplace("acq_low");
     if (ff_low) {
       opt::ScalarObjective criterion = [&](const Vector& u) {
         const auto p = low_predictions(u);
@@ -136,6 +143,7 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
 
     // Step 6: optimize the fused high-fidelity acquisition seeded with
     // x*_l (plus a few jittered copies of it).
+    phase_span.emplace("acq_high");
     std::vector<Vector> seeds{x_star_l};
     for (std::size_t i = 0; i < options_.x_star_seeds; ++i)
       seeds.push_back(linalg::gaussianJitterInBox(
@@ -181,6 +189,7 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
     // low GP's output scale so γ is dimensionless (eq. 11-12). The low
     // predictions at x_t are computed once and shared with the iteration
     // record below.
+    phase_span.emplace("fidelity_decision");
     const std::vector<gp::Prediction> p_low_t = low_predictions(x_t);
     std::vector<double> norm_vars(n_out);
     double max_norm_var = 0.0;
@@ -201,6 +210,7 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
       downgrades_total.add();
     }
 
+    phase_span.reset();
     evaluate(x_t, f);
 
     // Step 8: update the training sets / surrogates.
@@ -208,6 +218,7 @@ SynthesisResult MfboSynthesizer::run(Problem& problem,
                          iteration % options_.retrain_every == 0;
 
     if (iterationWanted(options_.observer)) {
+      const spans::ScopedSpan observe_span("observe");
       IterationRecord rec;
       rec.algo = "mfbo";
       rec.iteration = iteration;

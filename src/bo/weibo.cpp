@@ -5,6 +5,7 @@
 
 #include "bo/acquisition.h"
 #include "common/check.h"
+#include "common/spans.h"
 #include "common/telemetry.h"
 
 namespace mfbo::bo {
@@ -16,6 +17,7 @@ SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
   const Box real_box = problem.bounds();
   const Box unit = Box::unitCube(d);
   Rng rng(seed);
+  const spans::ScopedSpan run_span("weibo");
   traceRunStart("weibo", problem, seed, options_.max_sims);
   static telemetry::Counter& iterations_total =
       telemetry::counter("bo.weibo.iterations");
@@ -25,6 +27,8 @@ SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
   Dataset data;
 
   auto evaluate = [&](const Vector& u) {
+    const spans::ScopedSpan sim_span("simulate_high");
+    spans::addCounter("sims_high");
     const Vector x_real = real_box.fromUnit(u);
     Evaluation eval = problem.evaluate(x_real, Fidelity::kHigh);
     tracker.charge(Fidelity::kHigh);
@@ -48,6 +52,7 @@ SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
     models.emplace_back(std::make_unique<gp::SeArdKernel>(d), cfg);
   }
   auto fit_all = [&] {
+    const spans::ScopedSpan fit_span("fit_high");
     models[0].fit(data.x, data.objectives());
     for (std::size_t i = 0; i < nc; ++i)
       models[1 + i].fit(data.x, data.constraintColumn(i));
@@ -69,6 +74,8 @@ SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
     Vector candidate;
     double tau = IterationRecord::kNan;
     const bool ff = nc > 0 && !feasible_idx && options_.use_first_feasible;
+    std::optional<spans::ScopedSpan> phase_span;
+    phase_span.emplace("acq_high");
     if (ff) {
       // First-feasible phase (eq. 13): pull the search into the predicted
       // feasible region before spending budget on wEI.
@@ -96,6 +103,7 @@ SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
     }
 
     candidate = dedupeCandidate(std::move(candidate), data, unit, rng);
+    phase_span.reset();
     evaluate(candidate);
 
     // Update the models with the new observation.
@@ -103,6 +111,7 @@ SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
                          iteration % options_.retrain_every == 0;
 
     if (iterationWanted(options_.observer)) {
+      const spans::ScopedSpan observe_span("observe");
       IterationRecord rec;
       rec.algo = "weibo";
       rec.iteration = iteration;
@@ -129,6 +138,7 @@ SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
     if (retrain) {
       fit_all();
     } else {
+      const spans::ScopedSpan fit_span("fit_high");
       models[0].addPoint(data.x.back(), data.evals.back().objective, false);
       for (std::size_t i = 0; i < nc; ++i)
         models[1 + i].addPoint(data.x.back(),

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/spans.h"
 
 namespace mfbo {
 namespace parallel {
@@ -32,11 +33,14 @@ struct Job {
   std::atomic<std::size_t> next{0};     ///< next unclaimed index
   std::atomic<std::size_t> entered{0};  ///< workers that joined this job
 
-  std::mutex mu;  ///< guards chunks_done / error below
+  std::mutex mu;  ///< guards chunks_done / error / captured_spans below
   std::condition_variable done_cv;
   std::size_t chunks_done = 0;
   std::size_t error_index = kNoError;  ///< begin of lowest-indexed failure
   std::exception_ptr error;
+  /// Span trees recorded by pool workers while draining this job; the
+  /// calling thread merges them into its open span after the region ends.
+  std::vector<spans::SpanNode*> captured_spans;
 };
 
 thread_local bool t_in_region = false;
@@ -115,7 +119,15 @@ class Pool {
     job->done_cv.wait(lock,
                       [&] { return job->chunks_done == job->chunks_total; });
     const std::exception_ptr error = job->error;
+    std::vector<spans::SpanNode*> captured;
+    captured.swap(job->captured_spans);
     lock.unlock();
+
+    // Attribute worker-side spans to this caller's innermost open span.
+    // Merge order does not matter: trees aggregate by name and serialize
+    // sorted, so the result is identical at any thread count.
+    for (spans::SpanNode* tree : captured)
+      spans::detail::mergeCapturedTree(tree);
 
     {
       // Drop the pool's reference so the job dies with the last straggler.
@@ -155,10 +167,17 @@ class Pool {
       if (job != nullptr &&
           job->entered.fetch_add(1, std::memory_order_relaxed) <
               job->worker_cap) {
+        // Record this worker's spans into a private arena handed back to
+        // the caller with (and under the same lock as) the completion
+        // count, so the caller's done_cv wait covers the span hand-off.
+        const spans::detail::WorkerCapture capture =
+            spans::detail::beginWorkerCapture();
         const std::size_t executed = drainJob(*job);
+        spans::SpanNode* tree = spans::detail::endWorkerCapture(capture);
         bool complete = false;
         {
           const std::lock_guard<std::mutex> job_lock(job->mu);
+          if (tree != nullptr) job->captured_spans.push_back(tree);
           job->chunks_done += executed;
           complete = job->chunks_done == job->chunks_total;
         }

@@ -1,0 +1,228 @@
+#include "common/spans.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace mfbo {
+namespace spans {
+
+/// One aggregated node of a thread's span tree. Children are keyed by their
+/// (literal) name pointer — compared by pointer first, then by content, so
+/// the same phase name used from two translation units still aggregates.
+/// Child lists are small (a handful of phases per level), so lookup is a
+/// linear scan; insertion order is preserved and sorting happens only at
+/// serialization / merge time.
+struct SpanNode {
+  const char* name;
+  SpanNode* parent;
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::vector<std::pair<const char*, std::uint64_t>> counters;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  SpanNode(const char* n, SpanNode* p) : name(n), parent(p) {}
+
+  static bool sameName(const char* a, const char* b) {
+    return a == b || std::strcmp(a, b) == 0;
+  }
+
+  SpanNode* child(const char* n) {
+    for (const auto& c : children)
+      if (sameName(c->name, n)) return c.get();
+    children.push_back(std::make_unique<SpanNode>(n, this));
+    return children.back().get();
+  }
+
+  void addCounter(const char* n, std::uint64_t v) {
+    for (auto& entry : counters) {
+      if (sameName(entry.first, n)) {
+        entry.second += v;
+        return;
+      }
+    }
+    counters.emplace_back(n, v);
+  }
+};
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Per-thread arena: an implicit root (never timed, never counted) plus
+/// the innermost-open-span cursor. Lazily allocated on first enabled use;
+/// owned by the thread and freed at thread exit.
+struct ThreadState {
+  std::unique_ptr<SpanNode> owned_root;
+  SpanNode* root = nullptr;
+  SpanNode* current = nullptr;
+
+  SpanNode* ensureRoot() {
+    if (root == nullptr) {
+      owned_root = std::make_unique<SpanNode>("root", nullptr);
+      root = owned_root.get();
+      current = root;
+    }
+    return root;
+  }
+};
+
+ThreadState& threadState() {
+  thread_local ThreadState state;
+  return state;
+}
+
+/// Merge @p src (and its subtree) into @p dst: counts and wall time add,
+/// counters add by name, children merge recursively by name.
+void mergeInto(SpanNode& dst, const SpanNode& src) {
+  dst.count += src.count;
+  dst.total_ns += src.total_ns;
+  for (const auto& counter : src.counters)
+    dst.addCounter(counter.first, counter.second);
+  for (const auto& src_child : src.children)
+    mergeInto(*dst.child(src_child->name), *src_child);
+}
+
+Json nodeToJson(const SpanNode& node, bool include_timing, bool is_root) {
+  Json out = Json::object();
+  if (!is_root) {
+    out.set("count", Json::number(static_cast<double>(node.count)));
+    if (include_timing) {
+      const double total_s = static_cast<double>(node.total_ns) * 1e-9;
+      std::int64_t child_ns = 0;
+      for (const auto& c : node.children) child_ns += c->total_ns;
+      // Children that ran on pool workers accumulate CPU time, which can
+      // exceed this span's wall time; clamp rather than report negatives.
+      const double self_s =
+          std::max(0.0, static_cast<double>(node.total_ns - child_ns) * 1e-9);
+      out.set("total_s", Json::number(total_s));
+      out.set("self_s", Json::number(self_s));
+    }
+  }
+  if (!node.counters.empty()) {
+    std::vector<const std::pair<const char*, std::uint64_t>*> sorted;
+    sorted.reserve(node.counters.size());
+    for (const auto& counter : node.counters) sorted.push_back(&counter);
+    std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+      return std::strcmp(a->first, b->first) < 0;
+    });
+    Json counters = Json::object();
+    for (const auto* counter : sorted)
+      counters.set(counter->first,
+                   Json::number(static_cast<double>(counter->second)));
+    out.set("counters", std::move(counters));
+  }
+  if (!node.children.empty()) {
+    std::vector<const SpanNode*> sorted;
+    sorted.reserve(node.children.size());
+    for (const auto& c : node.children) sorted.push_back(c.get());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SpanNode* a, const SpanNode* b) {
+                return std::strcmp(a->name, b->name) < 0;
+              });
+    Json children = Json::object();
+    for (const SpanNode* c : sorted)
+      children.set(c->name, nodeToJson(*c, include_timing, /*is_root=*/false));
+    out.set("children", std::move(children));
+  }
+  return out;
+}
+
+}  // namespace
+
+void setEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!enabled()) return;
+  ThreadState& state = threadState();
+  state.ensureRoot();
+  node_ = state.current->child(name);
+  node_->count += 1;
+  state.current = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (node_ == nullptr) return;
+  node_->total_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+  threadState().current = node_->parent;
+}
+
+void addCounter(const char* name, std::uint64_t n) {
+  if (!enabled()) return;
+  ThreadState& state = threadState();
+  state.ensureRoot();
+  state.current->addCounter(name, n);
+}
+
+Json snapshot(bool include_timing) {
+  ThreadState& state = threadState();
+  if (state.root == nullptr) return Json::object();
+  return nodeToJson(*state.root, include_timing, /*is_root=*/true);
+}
+
+void reset() {
+  ThreadState& state = threadState();
+  state.owned_root.reset();
+  state.root = nullptr;
+  state.current = nullptr;
+}
+
+namespace detail {
+
+WorkerCapture beginWorkerCapture() {
+  WorkerCapture capture;
+  if (!enabled()) return capture;
+  ThreadState& state = threadState();
+  capture.saved_root = state.root;
+  capture.saved_current = state.current;
+  // Fresh arena for this job; released (not freed) by endWorkerCapture.
+  capture.capture_root = new SpanNode("root", nullptr);
+  state.owned_root.release();
+  state.owned_root.reset(capture.capture_root);
+  state.root = capture.capture_root;
+  state.current = capture.capture_root;
+  return capture;
+}
+
+SpanNode* endWorkerCapture(const WorkerCapture& capture) {
+  if (capture.capture_root == nullptr) return nullptr;
+  ThreadState& state = threadState();
+  state.owned_root.release();
+  state.owned_root.reset(capture.saved_root);
+  state.root = capture.saved_root;
+  state.current = capture.saved_current;
+  // An empty capture (the worker claimed no chunks, or the bodies opened no
+  // spans) is dropped here instead of travelling through the merge.
+  if (capture.capture_root->children.empty() &&
+      capture.capture_root->counters.empty()) {
+    delete capture.capture_root;
+    return nullptr;
+  }
+  return capture.capture_root;
+}
+
+void mergeCapturedTree(SpanNode* tree) {
+  if (tree == nullptr) return;
+  const std::unique_ptr<SpanNode> owned(tree);
+  if (!enabled()) return;
+  ThreadState& state = threadState();
+  state.ensureRoot();
+  SpanNode& target = *state.current;
+  for (const auto& counter : tree->counters)
+    target.addCounter(counter.first, counter.second);
+  for (const auto& child : tree->children)
+    mergeInto(*target.child(child->name), *child);
+}
+
+}  // namespace detail
+
+}  // namespace spans
+}  // namespace mfbo

@@ -1,0 +1,110 @@
+// mfbo — hierarchical span profiler with phase attribution.
+//
+// The paper's headline claim is wall-clock efficiency: cheap low-fidelity
+// simulations plus the eq. (11)/(12) fidelity criterion shift cost away
+// from expensive evaluations. Flat counters and timers (common/telemetry.h)
+// cannot answer *where* an iteration's time actually goes — GP refit, the
+// NARGP eq. (10) Monte-Carlo integration, the MSP acquisition search, or
+// the simulator — because they have no notion of nesting. This header adds
+// the missing structure:
+//
+//   * ScopedSpan — RAII frame on a thread-local span stack. Spans with the
+//     same name under the same parent aggregate into one node (call count,
+//     total wall time); distinct call paths stay distinct, so the snapshot
+//     is a tree of phases, not a flat list. Self time is derived at
+//     serialization: total minus the children's totals.
+//   * Per-span counters — addCounter() attributes an event (a simulator
+//     invocation, a Cholesky jitter retry) to the innermost open span, so
+//     "how many sims did acq_high trigger" falls out of the tree.
+//   * Off-by-default behind a single branch — when disabled (the default),
+//     ScopedSpan's constructor is one relaxed atomic load and no
+//     allocation, so instrumented hot paths cost nothing in production.
+//   * Deterministic under the parallel pool — bodies running on pool
+//     workers record into per-thread arenas that common/parallel.h merges
+//     into the *calling thread's* innermost span at region end (the
+//     detail:: hooks below). Counts and counters aggregate identically at
+//     any thread count; with timing omitted, snapshots are byte-identical
+//     at 1 and N threads (children and counters serialize sorted by name).
+//
+// Contract: enable/disable only while no span is open on any thread (in
+// practice: before the run, from the bench/test harness). Span names must
+// be string literals (or otherwise outlive the process) — nodes store the
+// pointer, not a copy.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/json.h"
+
+namespace mfbo {
+namespace spans {
+
+struct SpanNode;  // opaque; defined in spans.cpp
+
+/// Turn the profiler on or off (off by default). Toggle only while no span
+/// is open.
+void setEnabled(bool on);
+
+/// Single relaxed atomic load; instrumentation sites pay one branch when
+/// the profiler is off.
+bool enabled();
+
+/// RAII span frame: opens a child of the calling thread's innermost span on
+/// construction, closes it (accumulating wall time) on destruction. When
+/// the profiler is disabled at construction time the object is inert.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+ private:
+  SpanNode* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Add @p n to the named counter of the calling thread's innermost open
+/// span (the thread root when none is open). No-op when disabled.
+void addCounter(const char* name, std::uint64_t n = 1);
+
+/// Serialize the calling thread's span tree:
+/// {"counters":{...},"children":{name:{"count":..,"total_s":..,"self_s":..,
+/// "counters":{...},"children":{...}}}} with children and counters sorted
+/// by name and empty sections omitted. With include_timing=false the
+/// total_s/self_s fields are dropped, leaving only the deterministic
+/// count/counter fields (the bench --no-timing artifacts rely on this).
+/// self_s is clamped at zero: children that ran on pool workers accumulate
+/// CPU time that can exceed the parent's wall time.
+Json snapshot(bool include_timing = true);
+
+/// Discard the calling thread's span tree (keeps the enabled flag). Call
+/// only while no span is open on this thread.
+void reset();
+
+namespace detail {
+
+/// Hooks for common/parallel.h: a pool worker swaps in a fresh capture
+/// arena before draining a job and hands the recorded tree back afterwards;
+/// the job's calling thread merges every captured tree into its innermost
+/// open span once the region completes. All three are no-ops (and return
+/// null) while the profiler is disabled.
+struct WorkerCapture {
+  SpanNode* saved_root = nullptr;
+  SpanNode* saved_current = nullptr;
+  SpanNode* capture_root = nullptr;
+};
+
+WorkerCapture beginWorkerCapture();
+/// Restores the worker's previous arena; returns the captured tree (null
+/// when nothing was recorded). Ownership passes to the caller.
+SpanNode* endWorkerCapture(const WorkerCapture& capture);
+/// Merge a captured tree into the calling thread's innermost span, then
+/// free it. Accepts null.
+void mergeCapturedTree(SpanNode* tree);
+
+}  // namespace detail
+
+}  // namespace spans
+}  // namespace mfbo

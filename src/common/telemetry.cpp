@@ -1,11 +1,14 @@
 #include "common/telemetry.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "common/check.h"
+#include "common/spans.h"
 
 namespace mfbo {
 namespace telemetry {
@@ -74,6 +77,17 @@ void Timer::record(double seconds) {
   if (count_ == 0 || seconds < min_) min_ = seconds;
   if (seconds > max_) max_ = seconds;
   total_ += seconds;
+  // Vitter's Algorithm R: keep the first kReservoirCap samples, then
+  // replace a uniformly chosen slot with probability cap/(count+1). The
+  // private LCG (Knuth MMIX constants) keeps replacement deterministic for
+  // a fixed record() order without touching any global RNG state.
+  if (samples_.size() < kReservoirCap) {
+    samples_.push_back(seconds);
+  } else {
+    lcg_ = lcg_ * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t slot = (lcg_ >> 16) % (count_ + 1);
+    if (slot < kReservoirCap) samples_[slot] = seconds;
+  }
   ++count_;
 }
 
@@ -102,12 +116,26 @@ double Timer::meanSeconds() const {
   return count_ > 0 ? total_ / static_cast<double>(count_) : 0.0;
 }
 
+double Timer::quantileSeconds(double q) const {
+  MFBO_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const std::size_t idx =
+      rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
 void Timer::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   count_ = 0;
   total_ = 0.0;
   min_ = 0.0;
   max_ = 0.0;
+  lcg_ = 0x9e3779b97f4a7c15ull;
+  samples_.clear();
 }
 
 Counter& counter(std::string_view name) { return counters().get(name); }
@@ -133,11 +161,15 @@ Json metricsSnapshot(bool include_timers) {
       entry.set("count", Json::number(static_cast<double>(t.count())));
       entry.set("total_s", Json::number(t.totalSeconds()));
       entry.set("min_s", Json::number(t.minSeconds()));
+      entry.set("p50_s", Json::number(t.quantileSeconds(0.50)));
+      entry.set("p95_s", Json::number(t.quantileSeconds(0.95)));
       entry.set("max_s", Json::number(t.maxSeconds()));
       timer_obj.set(name, std::move(entry));
     });
     snapshot.set("timers", std::move(timer_obj));
   }
+  if (spans::enabled())
+    snapshot.set("spans", spans::snapshot(/*include_timing=*/include_timers));
   return snapshot;
 }
 
@@ -165,10 +197,36 @@ TraceWriter::~TraceWriter() {
 void TraceWriter::write(const Json& event) {
   const std::string line = event.dump();
   const std::lock_guard<std::mutex> lock(mu_);
-  std::fwrite(line.data(), 1, line.size(), stream_);
-  std::fputc('\n', stream_);
-  std::fflush(stream_);
-  ++events_written_;
+  // Detect short writes and flush failures (ENOSPC, closed pipe, ...): a
+  // dropped event must not count as written, and the operator gets exactly
+  // one stderr warning per writer instead of a silent hole in the trace.
+  const bool ok =
+      std::fwrite(line.data(), 1, line.size(), stream_) == line.size() &&
+      std::fputc('\n', stream_) != EOF && std::fflush(stream_) == 0;
+  if (ok) {
+    ++events_written_;
+    return;
+  }
+  ++write_errors_;
+  static Counter& errors = counter("telemetry.trace_write_errors");
+  errors.add();
+  if (!warned_) {
+    warned_ = true;
+    std::fprintf(stderr,
+                 "mfbo: warning: trace write failed; further events on this "
+                 "sink may be lost (see telemetry.trace_write_errors)\n");
+  }
+  std::clearerr(stream_);
+}
+
+std::uint64_t TraceWriter::eventsWritten() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_written_;
+}
+
+std::uint64_t TraceWriter::writeErrors() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return write_errors_;
 }
 
 void setTraceSink(TraceSink* sink) {

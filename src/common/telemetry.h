@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <mutex>
@@ -72,19 +73,29 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Accumulating duration statistic (count / total / min / max seconds).
-/// A full histogram is overkill for the per-run artifacts; these four
-/// moments answer "how often and how long" without bucketing decisions.
-/// The four fields update together under a mutex so concurrent record()
-/// calls from parallel workers cannot tear a snapshot.
+/// Accumulating duration statistic (count / total / min / max seconds) plus
+/// summary quantiles from a bounded reservoir. A full histogram is overkill
+/// for the per-run artifacts; extrema answer "how long at worst" and the
+/// p50/p95 quantiles expose tail latency without bucketing decisions. The
+/// reservoir uses Vitter's Algorithm R with a private LCG (no global RNG
+/// state touched), so quantiles are exact below kReservoirCap samples and
+/// an unbiased sample above it. All fields update together under a mutex so
+/// concurrent record() calls from parallel workers cannot tear a snapshot.
 class Timer {
  public:
+  /// Reservoir size: exact quantiles for the first 512 samples, sampled
+  /// beyond. 512 doubles is small enough to keep per-timer forever.
+  static constexpr std::size_t kReservoirCap = 512;
+
   void record(double seconds);
   std::uint64_t count() const;
   double totalSeconds() const;
   double minSeconds() const;
   double maxSeconds() const;
   double meanSeconds() const;
+  /// Nearest-rank quantile over the reservoir; q in [0, 1]. Returns 0 when
+  /// nothing was recorded.
+  double quantileSeconds(double q) const;
   void reset();
 
  private:
@@ -93,6 +104,8 @@ class Timer {
   double total_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  std::uint64_t lcg_ = 0x9e3779b97f4a7c15ull;  ///< reservoir replacement RNG
+  std::vector<double> samples_;
 };
 
 /// Registry lookup; creates the metric on first use. The returned reference
@@ -107,11 +120,15 @@ Gauge& gauge(std::string_view name);
 Timer& timer(std::string_view name);
 
 /// Serialize every registered metric, sorted by name:
-/// {"counters":{...},"gauges":{...},"timers":{name:{count,total,min,max}}}.
-/// With include_timers=false the wall-clock "timers" section is omitted —
-/// counters and gauges are deterministic for a fixed seed at any thread
-/// count, so the remaining snapshot is byte-reproducible (the bench
-/// --no-timing artifacts rely on this).
+/// {"counters":{...},"gauges":{...},
+///  "timers":{name:{count,total_s,min_s,p50_s,p95_s,max_s}}}.
+/// When the span profiler is enabled (common/spans.h) the calling thread's
+/// span tree is appended under a "spans" key. With include_timers=false the
+/// wall-clock "timers" section is omitted and the span tree drops its
+/// total_s/self_s fields — counters, gauges, and span counts are
+/// deterministic for a fixed seed at any thread count, so the remaining
+/// snapshot is byte-reproducible (the bench --no-timing artifacts rely on
+/// this).
 Json metricsSnapshot(bool include_timers = true);
 
 /// Zero every registered metric (references stay valid).
@@ -144,6 +161,10 @@ class TraceSink {
 /// JSONL file sink: one compact JSON object per line, flushed per event so
 /// a crashed run still leaves a readable trace prefix. write() locks per
 /// event, so concurrent writers interleave whole lines, never fragments.
+/// Write failures (ENOSPC, closed pipe, ...) are not silent: a failed event
+/// bumps the "telemetry.trace_write_errors" counter and the first failure
+/// per writer prints one stderr warning; eventsWritten() counts only events
+/// that reached the stream in full.
 class TraceWriter final : public TraceSink {
  public:
   /// Opens (truncates) @p path; throws std::runtime_error on failure.
@@ -156,13 +177,19 @@ class TraceWriter final : public TraceSink {
   TraceWriter& operator=(const TraceWriter&) = delete;
 
   void write(const Json& event) override;
-  std::uint64_t eventsWritten() const { return events_written_; }
+  /// Events fully written and flushed to the stream.
+  std::uint64_t eventsWritten() const;
+  /// Events dropped (partially written or unflushed) because the stream
+  /// reported an error.
+  std::uint64_t writeErrors() const;
 
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::FILE* stream_ = nullptr;
   bool owns_stream_ = false;
+  bool warned_ = false;
   std::uint64_t events_written_ = 0;
+  std::uint64_t write_errors_ = 0;
 };
 
 /// In-memory sink for tests and embedders that post-process events.

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/spans.h"
 #include "common/telemetry.h"
 
 namespace mfbo::gp {
@@ -123,6 +124,7 @@ void GpRegressor::addPoint(const Vector& x, double y, bool retrain) {
 }
 
 bool GpRegressor::extendPosterior() {
+  const spans::ScopedSpan extend_span("gp_extend");
   // The standardizer is fixed between retrains, so the new target joins
   // y_std_ under the existing transform — exactly as rebuildPosterior
   // restandardizes only newly appended raw values.
@@ -163,6 +165,7 @@ void GpRegressor::train(bool warm_start) {
   static telemetry::Timer& fit_timer = telemetry::timer("gp.fit_seconds");
   fit_calls.add();
   const telemetry::ScopedTimer fit_scope(fit_timer);
+  const spans::ScopedSpan train_span("gp_train");
 
   // Standardize targets for this training set.
   standardizer_ = config_.standardize ? linalg::Standardizer(y_raw_)
@@ -206,6 +209,9 @@ void GpRegressor::train(bool warm_start) {
   // consume no shared RNG stream.
   const std::vector<opt::OptResult> restarts = parallel::parallelMap(
       starts.size(), [&](std::size_t start_index) {
+        // One span per restart index (never per chunk), so counts are
+        // identical at any thread count.
+        const spans::ScopedSpan restart_span("nlml_restart");
         const std::unique_ptr<Kernel> kernel = kernel_->clone();
         opt::GradObjective objective = [&, p](const Vector& theta,
                                               Vector* grad) -> double {
@@ -260,6 +266,7 @@ void GpRegressor::train(bool warm_start) {
 }
 
 void GpRegressor::rebuildPosterior() {
+  const spans::ScopedSpan rebuild_span("gp_rebuild");
   // Keep the standardizer fixed between retrains so cached alpha matches;
   // recompute standardized targets for any newly appended raw values.
   if (y_std_.size() != y_raw_.size()) {

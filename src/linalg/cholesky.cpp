@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/spans.h"
 #include "common/telemetry.h"
 
 namespace mfbo::linalg {
@@ -32,6 +33,7 @@ Cholesky Cholesky::factor(const Matrix& a) {
              "x", a.cols());
   MFBO_CHECK(a.rows() > 0, "matrix must be non-empty");
   MFBO_CHECK(a.allFinite(), "matrix has non-finite entries");
+  const spans::ScopedSpan factor_span("cholesky_factor");
   Matrix l;
   if (!tryFactor(a, 0.0, l))
     throw std::runtime_error("Cholesky: matrix is not positive definite");
@@ -44,6 +46,7 @@ Cholesky Cholesky::factorWithJitter(const Matrix& a, double initial_jitter,
              "x", a.cols());
   MFBO_CHECK(a.rows() > 0, "matrix must be non-empty");
   MFBO_CHECK(a.allFinite(), "matrix has non-finite entries");
+  const spans::ScopedSpan factor_span("cholesky_factor");
   Matrix l;
   if (tryFactor(a, 0.0, l)) return Cholesky(std::move(l), 0.0);
   // Invisible-at-runtime numerics made visible: every rung of the jitter
@@ -63,6 +66,7 @@ Cholesky Cholesky::factorWithJitter(const Matrix& a, double initial_jitter,
   const double scale = diag_mean > 0.0 ? diag_mean : 1.0;
   for (double j = initial_jitter; j <= max_jitter * 1.0000001; j *= 10.0) {
     retries.add();
+    spans::addCounter("jitter_retries");
     if (tryFactor(a, j * scale, l)) return Cholesky(std::move(l), j * scale);
   }
   exhausted.add();
@@ -76,6 +80,7 @@ bool Cholesky::appendRow(const Vector& b, double c) {
              " does not match dim ", n);
   MFBO_CHECK(b.allFinite() && std::isfinite(c),
              "extension column has non-finite entries");
+  const spans::ScopedSpan append_span("cholesky_append");
   static telemetry::Counter& appended =
       telemetry::counter("linalg.cholesky.appended_rows");
   static telemetry::Counter& rejected =

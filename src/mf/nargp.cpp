@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/spans.h"
 #include "common/telemetry.h"
 
 namespace mfbo::mf {
@@ -37,14 +38,20 @@ void NargpModel::fit(std::vector<Vector> x_low, std::vector<double> y_low,
              x_high.size(), " high");
   MFBO_CHECK(x_high.size() == y_high.size(), "high-fidelity size mismatch: ",
              x_high.size(), " inputs vs ", y_high.size(), " targets");
-  low_gp_.fit(std::move(x_low), std::move(y_low));
+  {
+    const spans::ScopedSpan fit_low_span("fit_low");
+    low_gp_.fit(std::move(x_low), std::move(y_low));
+  }
   x_high_ = std::move(x_high);
   y_high_ = std::move(y_high);
   rebuildHigh(/*retrain=*/true);
 }
 
 void NargpModel::addLow(const Vector& x, double y, bool retrain) {
-  low_gp_.addPoint(x, y, retrain);
+  {
+    const spans::ScopedSpan fit_low_span("fit_low");
+    low_gp_.addPoint(x, y, retrain);
+  }
   if (retrain) {
     // µ_l moved everywhere, so the high-fidelity augmented inputs are
     // refreshed along with the hyperparameters.
@@ -78,6 +85,7 @@ void NargpModel::addHigh(const Vector& x, double y, bool retrain) {
   static telemetry::Counter& incremental_high =
       telemetry::counter("mf.nargp.incremental_add_high");
   incremental_high.add();
+  const spans::ScopedSpan fit_high_span("fit_high");
   high_gp_.addPoint(augment(x, low_gp_.predict(x).mean), y,
                     /*retrain=*/false);
 }
@@ -86,6 +94,7 @@ void NargpModel::rebuildHigh(bool retrain) {
   static telemetry::Timer& fuse_timer =
       telemetry::timer("mf.nargp.fuse_seconds");
   const telemetry::ScopedTimer fuse_scope(fuse_timer);
+  const spans::ScopedSpan fit_high_span("fit_high");
   std::vector<Vector> z;
   z.reserve(x_high_.size());
   for (const Vector& x : x_high_)
@@ -119,6 +128,10 @@ Prediction NargpModel::predictHigh(const Vector& x) const {
   predict_calls.add();
   mc_samples.add(config_.n_mc);
   const telemetry::ScopedTimer predict_scope(predict_timer);
+  // One span per predictHigh call, opened *outside* the parallel MC region:
+  // per-chunk spans would count chunks, which depend on the thread count.
+  const spans::ScopedSpan mc_span("mc_integration");
+  spans::addCounter("mc_samples", config_.n_mc);
   const Prediction low = low_gp_.predict(x);
   const double low_sd = low.sd();
 

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/spans.h"
 #include "common/telemetry.h"
 
 namespace mfbo::opt {
@@ -18,11 +19,14 @@ OptResult multistartMinimize(const ScalarObjective& f,
       telemetry::counter("opt.multistart.local_iterations");
   static telemetry::Counter& msp_evaluations =
       telemetry::counter("opt.multistart.evaluations");
+  const spans::ScopedSpan multistart_span("multistart");
 
   // One local refinement per task; each writes into its own slot, so the
   // objective only needs to be safe for concurrent const invocation.
   std::vector<OptResult> locals = parallel::parallelMap(
       starts.size(), [&](std::size_t i) {
+        // Per-start span (never per chunk): counts stay thread-independent.
+        const spans::ScopedSpan local_span("local_search");
         return nelderMeadMinimize(f, box.clamp(starts[i]), box,
                                   options.local);
       });

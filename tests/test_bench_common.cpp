@@ -205,6 +205,39 @@ TEST(ParseArgsDeath, RejectsUnknownArgument) {
               "unknown argument");
 }
 
+TEST(ParseArgs, SpansFlagEnablesProfiler) {
+  EXPECT_FALSE(spans::enabled());
+  const bench::BenchConfig cfg = parse({"--spans"});
+  EXPECT_TRUE(cfg.spans);
+  EXPECT_TRUE(spans::enabled());  // parseArgs flips the global switch
+  spans::setEnabled(false);
+  spans::reset();
+}
+
+TEST(ParseArgs, TraceFlagOpensWriterAndInstallsSink) {
+  const std::string path = "test_bench_trace.jsonl";
+  {
+    const bench::BenchConfig cfg = parse({"--trace", path});
+    EXPECT_EQ(cfg.trace, path);
+    ASSERT_NE(cfg.trace_writer, nullptr);
+    EXPECT_EQ(telemetry::traceSink(), cfg.trace_writer.get());
+    telemetry::setTraceSink(nullptr);  // before the writer is destroyed
+  }
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());  // the file was created (and truncated) up front
+  std::remove(path.c_str());
+}
+
+TEST(ParseArgsDeath, RejectsUnwritableTracePath) {
+  EXPECT_EXIT(parse({"--trace", "no_such_dir/trace.jsonl"}),
+              ::testing::ExitedWithCode(2), "not writable");
+}
+
+TEST(ParseArgsDeath, RejectsMissingTraceValue) {
+  EXPECT_EXIT(parse({"--trace"}), ::testing::ExitedWithCode(2),
+              "missing value");
+}
+
 // --- AlgoStats & artifacts ----------------------------------------------
 
 bo::SynthesisResult makeResult(double objective, bool feasible) {

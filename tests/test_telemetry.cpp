@@ -112,6 +112,48 @@ TEST(Metrics, TimerTracksMoments) {
   EXPECT_NEAR(t.meanSeconds(), 3.5 / 3.0, 1e-15);
 }
 
+TEST(Metrics, TimerQuantilesAreExactBelowReservoirCap) {
+  telemetry::Timer& t = telemetry::timer("test.metrics.quantiles");
+  t.reset();
+  // 100 samples 0.01..1.00: nearest-rank quantiles are exact while the
+  // reservoir (cap 512) still holds every sample.
+  for (int i = 1; i <= 100; ++i) t.record(0.01 * i);
+  EXPECT_DOUBLE_EQ(t.quantileSeconds(0.0), 0.01);
+  EXPECT_DOUBLE_EQ(t.quantileSeconds(0.5), 0.50);
+  EXPECT_DOUBLE_EQ(t.quantileSeconds(0.95), 0.95);
+  EXPECT_DOUBLE_EQ(t.quantileSeconds(1.0), 1.00);
+}
+
+TEST(Metrics, TimerQuantilesStayOrderedPastReservoirCap) {
+  telemetry::Timer& t = telemetry::timer("test.metrics.quantiles_big");
+  t.reset();
+  // 10x the reservoir capacity: quantiles become sampled estimates, but
+  // they must stay within the observed range and monotone in q.
+  for (std::size_t i = 0; i < 10 * telemetry::Timer::kReservoirCap; ++i)
+    t.record(1.0 + 0.001 * static_cast<double>(i % 1000));
+  const double p50 = t.quantileSeconds(0.5);
+  const double p95 = t.quantileSeconds(0.95);
+  EXPECT_GE(p50, t.minSeconds());
+  EXPECT_LE(p95, t.maxSeconds());
+  EXPECT_LE(p50, p95);
+}
+
+TEST(Metrics, TimerQuantilesAreSeedStable) {
+  // Two timers fed the same stream agree exactly: the reservoir uses a
+  // private deterministic generator, reseeded by reset().
+  telemetry::Timer& a = telemetry::timer("test.metrics.quantiles_a");
+  telemetry::Timer& b = telemetry::timer("test.metrics.quantiles_b");
+  a.reset();
+  b.reset();
+  for (int i = 0; i < 2000; ++i) {
+    const double v = 0.5 + 0.25 * std::sin(0.1 * i);
+    a.record(v);
+    b.record(v);
+  }
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0})
+    EXPECT_DOUBLE_EQ(a.quantileSeconds(q), b.quantileSeconds(q));
+}
+
 TEST(Metrics, ScopedTimerRecordsOneSample) {
   telemetry::Timer& t = telemetry::timer("test.metrics.scoped");
   t.reset();
@@ -292,6 +334,38 @@ TEST(Trace, WriterWritesOneLinePerEvent) {
 TEST(Trace, WriterThrowsOnUnopenablePath) {
   EXPECT_THROW(telemetry::TraceWriter("/nonexistent-dir/trace.jsonl"),
                std::runtime_error);
+}
+
+TEST(Trace, WriterCountsWriteErrorsAndWarnsOnce) {
+  // /dev/full accepts the open but fails every flush with ENOSPC — the
+  // canonical disk-full simulation.
+  std::FILE* full = std::fopen("/dev/full", "w");
+  if (full == nullptr) GTEST_SKIP() << "/dev/full unavailable";
+  telemetry::Counter& errors =
+      telemetry::counter("telemetry.trace_write_errors");
+  errors.reset();
+  {
+    telemetry::TraceWriter writer(full);  // borrowed stream
+    Json e = Json::object();
+    e.set("type", "doomed");
+    ::testing::internal::CaptureStderr();
+    writer.write(e);
+    writer.write(e);
+    const std::string warning = ::testing::internal::GetCapturedStderr();
+    // Dropped events never count as written; every failure is counted.
+    EXPECT_EQ(writer.eventsWritten(), 0u);
+    EXPECT_EQ(writer.writeErrors(), 2u);
+    EXPECT_EQ(errors.value(), 2u);
+    // Exactly one stderr warning per writer, not one per event.
+    const std::string needle = "trace write failed";
+    std::size_t occurrences = 0;
+    for (std::size_t pos = warning.find(needle); pos != std::string::npos;
+         pos = warning.find(needle, pos + needle.size()))
+      ++occurrences;
+    EXPECT_EQ(occurrences, 1u);
+  }
+  std::fclose(full);
+  errors.reset();
 }
 
 }  // namespace

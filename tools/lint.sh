@@ -22,6 +22,17 @@ status=0
 echo "== check_headers =="
 python3 tools/check_headers.py "${paths[@]}" || status=1
 
+echo "== python tools =="
+mapfile -t py_tools < <(find tools -name '*.py' | sort)
+# Syntax gate always (py_compile ships with the interpreter); pyflakes
+# adds unused-import/undefined-name checks on machines that have it.
+python3 -m py_compile "${py_tools[@]}" || status=1
+if python3 -m pyflakes --help > /dev/null 2>&1; then
+  python3 -m pyflakes "${py_tools[@]}" || status=1
+else
+  echo "pyflakes not found; ran py_compile only"
+fi
+
 echo "== clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then
   build_dir="build-tidy"
