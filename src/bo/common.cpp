@@ -227,6 +227,7 @@ Vector maximizeAcquisitionMsp(const opt::ScalarObjective& acquisition,
 Vector minimizeCriterionMsp(const opt::ScalarObjective& criterion,
                             const Box& box, std::size_t n_starts,
                             const opt::NelderMeadOptions& local, Rng& rng) {
+  MFBO_CHECK(box.dim() >= 1, "empty search box");
   std::vector<Vector> starts =
       linalg::latinHypercube(std::max<std::size_t>(n_starts, 1), box, rng);
   opt::MultistartOptions ms;
@@ -242,6 +243,8 @@ Vector dedupeCandidate(Vector candidate, const Dataset& data, const Box& box,
 Vector dedupeCandidate(Vector candidate,
                        std::initializer_list<const Dataset*> data,
                        const Box& box, Rng& rng, double min_dist) {
+  MFBO_CHECK(candidate.size() == box.dim(), "candidate dim ",
+             candidate.size(), " does not match box dim ", box.dim());
   constexpr int kMaxTries = 16;
   const auto too_close = [&](const Vector& point) {
     for (const Dataset* ds : data)

@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <numbers>
-#include <stdexcept>
 
 #include "circuit/linearize.h"
+#include "common/check.h"
 #include "linalg/matrix.h"
 
 namespace mfbo::circuit {
@@ -167,8 +167,9 @@ double AcResult::phaseDeg(std::size_t k, NodeId node) const {
 
 AcResult acAnalysis(Simulator& sim, double f_start, double f_stop,
                     std::size_t points_per_decade) {
-  if (!(f_start > 0.0) || !(f_stop > f_start) || points_per_decade == 0)
-    throw std::invalid_argument("acAnalysis: bad sweep parameters");
+  MFBO_CHECK(f_start > 0.0 && f_stop > f_start, "bad sweep range [", f_start,
+             ", ", f_stop, ") Hz");
+  MFBO_CHECK(points_per_decade >= 1, "points_per_decade must be >= 1");
 
   AcResult result;
   const DcResult dc = sim.dcOperatingPoint();

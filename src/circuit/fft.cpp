@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace mfbo::circuit {
 
 void fftRadix2(std::vector<std::complex<double>>& data) {
@@ -38,8 +40,9 @@ void fftRadix2(std::vector<std::complex<double>>& data) {
 std::vector<Harmonic> harmonicAnalysis(const std::vector<double>& samples,
                                        double dt, double f0,
                                        std::size_t n_harmonics) {
-  if (samples.empty() || !(dt > 0.0) || !(f0 > 0.0))
-    throw std::invalid_argument("harmonicAnalysis: bad arguments");
+  MFBO_CHECK(!samples.empty(), "no samples");
+  MFBO_CHECK(dt > 0.0 && f0 > 0.0, "bad timestep ", dt, " or fundamental ",
+             f0);
   const double period = 1.0 / f0;
   const double total_time = static_cast<double>(samples.size() - 1) * dt;
   const std::size_t n_periods =

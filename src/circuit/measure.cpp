@@ -4,6 +4,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace mfbo::circuit {
 
 std::vector<double> nodeWaveform(const TransientResult& result, NodeId node) {
@@ -34,7 +36,10 @@ double timeAverage(const TransientResult& result, double t_start,
 
 double averageSourcePower(const Simulator& sim, const TransientResult& result,
                           std::size_t vsrc_index, double t_start) {
-  const VSource& src = sim.netlist().vsources().at(vsrc_index);
+  MFBO_CHECK(vsrc_index < sim.netlist().vsources().size(), "vsource index ",
+             vsrc_index, " out of range [0,",
+             sim.netlist().vsources().size(), ")");
+  const VSource& src = sim.netlist().vsources()[vsrc_index];
   return timeAverage(result, t_start, [&](std::size_t k) {
     // SPICE convention: branch current flows into the + terminal, so the
     // power delivered to the circuit is −v·i.
@@ -48,6 +53,9 @@ double averageSourcePower(const Simulator& sim, const TransientResult& result,
 CurrentStats mosfetCurrentStats(const Simulator& sim,
                                 const TransientResult& result,
                                 std::size_t mos_index, double t_start) {
+  MFBO_CHECK(mos_index < sim.netlist().mosfets().size(), "mosfet index ",
+             mos_index, " out of range [0,", sim.netlist().mosfets().size(),
+             ")");
   const std::size_t start = windowStart(result, t_start);
   if (start >= result.solution.size())
     throw std::invalid_argument("mosfetCurrentStats: empty window");
@@ -75,6 +83,8 @@ double fundamentalLoadPower(const TransientResult& result, NodeId node,
 std::vector<Harmonic> nodeHarmonics(const TransientResult& result, NodeId node,
                                     double f0, std::size_t n_harmonics,
                                     double t_start) {
+  MFBO_CHECK(!result.time.empty() && !result.solution.empty(),
+             "empty transient result");
   const std::size_t start = windowStart(result, t_start);
   std::vector<double> samples;
   samples.reserve(result.solution.size() - start);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "circuit/linearize.h"
+#include "common/check.h"
 
 namespace mfbo::circuit {
 
@@ -32,6 +33,8 @@ Simulator::Simulator(const Netlist& netlist, SimOptions options)
 void Simulator::assemble(Matrix& g, Vector& rhs, const Vector& x, double t,
                          double dt, const Vector* prev,
                          double source_scale) const {
+  MFBO_DCHECK(x.size() == dim(), "state size ", x.size(), " != ", dim());
+  MFBO_DCHECK(!prev || prev->size() == dim(), "prev-state size mismatch");
   const std::size_t n = dim();
   g = Matrix(n, n);
   rhs = Vector(n);
@@ -199,6 +202,7 @@ void Simulator::assemble(Matrix& g, Vector& rhs, const Vector& x, double t,
 
 bool Simulator::newtonSolve(Vector& x, double t, double dt, const Vector* prev,
                             double source_scale) {
+  MFBO_DCHECK(x.size() == dim(), "state size ", x.size(), " != ", dim());
   Matrix g;
   Vector rhs;
   for (std::size_t iter = 0; iter < options_.max_newton_iterations; ++iter) {
@@ -236,13 +240,14 @@ bool Simulator::newtonSolve(Vector& x, double t, double dt, const Vector* prev,
 }
 
 DcResult Simulator::dcOperatingPoint(const Vector* initial_guess) {
+  MFBO_CHECK(!initial_guess || initial_guess->size() == dim(),
+             "initial guess size ", initial_guess ? initial_guess->size() : 0,
+             " != system dimension ", dim());
   DcResult result;
   extra_gmin_ = 0.0;
 
   // 1. Plain Newton, warm-started when a guess is available.
-  Vector x = initial_guess && initial_guess->size() == dim()
-                 ? *initial_guess
-                 : Vector(dim());
+  Vector x = initial_guess ? *initial_guess : Vector(dim());
   if (newtonSolve(x, 0.0, 0.0, nullptr, 1.0)) {
     result.solution = std::move(x);
     result.converged = true;
@@ -336,22 +341,22 @@ TransientResult Simulator::transient(double t_stop, double dt) {
 
 double Simulator::vsourceCurrent(const Vector& solution,
                                  std::size_t vsrc_index) const {
-  if (vsrc_index >= netlist_.vsources().size())
-    throw std::out_of_range("Simulator::vsourceCurrent");
+  MFBO_CHECK(vsrc_index < netlist_.vsources().size(), "vsource index ",
+             vsrc_index, " out of range");
   return solution[vsource_offset_ + vsrc_index];
 }
 
 double Simulator::inductorCurrent(const Vector& solution,
                                   std::size_t ind_index) const {
-  if (ind_index >= netlist_.inductors().size())
-    throw std::out_of_range("Simulator::inductorCurrent");
+  MFBO_CHECK(ind_index < netlist_.inductors().size(), "inductor index ",
+             ind_index, " out of range");
   return solution[inductor_offset_ + ind_index];
 }
 
 double Simulator::mosfetCurrent(const Vector& solution,
                                 std::size_t mos_index) const {
-  if (mos_index >= netlist_.mosfets().size())
-    throw std::out_of_range("Simulator::mosfetCurrent");
+  MFBO_CHECK(mos_index < netlist_.mosfets().size(), "mosfet index ",
+             mos_index, " out of range");
   const Mosfet& m = netlist_.mosfets()[mos_index];
   const MosfetSmallSignal ss = mosfetSmallSignal(
       m, nodeV(solution, m.d), nodeV(solution, m.g), nodeV(solution, m.s));

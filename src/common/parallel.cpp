@@ -202,6 +202,9 @@ std::atomic<std::size_t> g_thread_override{0};
 /// MFBO_THREADS when it parses as a positive integer (strict: digits only),
 /// otherwise 0.
 std::size_t envThreads() {
+  // Read once before the pool spins up; nothing in the library calls
+  // setenv, so the lookup cannot race a concurrent environment write.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("MFBO_THREADS");
   if (env == nullptr || *env == '\0') return 0;
   std::size_t value = 0;

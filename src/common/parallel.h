@@ -78,6 +78,7 @@ void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 /// order. The element type must be default-constructible (slots are
 /// pre-sized) and move-assignable.
 template <typename Fn>
+// mfbo-lint: allow(C001) — any n is a valid task count; out(n) is the deal
 auto parallelMap(std::size_t n, Fn&& fn)
     -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
   std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> out(n);

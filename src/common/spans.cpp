@@ -209,6 +209,7 @@ SpanNode* endWorkerCapture(const WorkerCapture& capture) {
   return capture.capture_root;
 }
 
+// mfbo-lint: allow(C001) — nullptr is the documented empty-capture value
 void mergeCapturedTree(SpanNode* tree) {
   if (tree == nullptr) return;
   const std::unique_ptr<SpanNode> owned(tree);

@@ -51,6 +51,7 @@ void SeArdKernel::setParams(const Vector& p) {
 }
 
 std::string SeArdKernel::paramName(std::size_t i) const {
+  MFBO_CHECK(i < numParams(), "param index ", i, " out of range");
   if (i == 0) return "log_sigma_f";
   return "log_l" + std::to_string(i - 1);
 }
@@ -144,6 +145,7 @@ void NargpKernel::setParams(const Vector& p) {
 }
 
 std::string NargpKernel::paramName(std::size_t i) const {
+  MFBO_CHECK(i < numParams(), "param index ", i, " out of range");
   if (i == 0) return "log_l_rho";
   if (i == 1) return "log_sf2";
   if (i < 2 + x_dim_) return "log_l2_" + std::to_string(i - 2);

@@ -7,6 +7,7 @@
 
 namespace mfbo::linalg {
 
+// mfbo-lint: allow(C001) — Matrix(n, n) validates on its first statement
 Matrix Matrix::identity(std::size_t n) {
   Matrix m(n, n);
   for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;

@@ -5,6 +5,7 @@
 namespace mfbo::linalg {
 
 double Rng::uniform(double lo, double hi) {
+  MFBO_CHECK(hi > lo, "empty uniform range [", lo, ", ", hi, ")");
   std::uniform_real_distribution<double> dist(lo, hi);
   return dist(engine_);
 }
@@ -21,11 +22,13 @@ std::size_t Rng::index(std::size_t n) {
 }
 
 Vector Rng::uniformVector(std::size_t d, double lo, double hi) {
+  MFBO_CHECK(hi > lo, "empty uniform range [", lo, ", ", hi, ")");
   Vector v(d);
   for (std::size_t i = 0; i < d; ++i) v[i] = uniform(lo, hi);
   return v;
 }
 
+// mfbo-lint: allow(C001) — any d is a valid draw count, nothing to check
 Vector Rng::normalVector(std::size_t d) {
   Vector v(d);
   for (std::size_t i = 0; i < d; ++i) v[i] = normal();

@@ -62,6 +62,8 @@ Vector Box::widths() const {
 }
 
 std::vector<Vector> latinHypercube(std::size_t n, const Box& box, Rng& rng) {
+  MFBO_CHECK(n >= 1 && box.dim() >= 1, "need n >= 1 samples (got ", n,
+             ") in a non-empty box (dim ", box.dim(), ")");
   const std::size_t d = box.dim();
   std::vector<Vector> samples(n, Vector(d));
   std::vector<std::size_t> perm(n);
@@ -79,6 +81,7 @@ std::vector<Vector> latinHypercube(std::size_t n, const Box& box, Rng& rng) {
 }
 
 std::vector<Vector> uniformSamples(std::size_t n, const Box& box, Rng& rng) {
+  MFBO_CHECK(box.dim() >= 1, "empty sampling box");
   std::vector<Vector> samples;
   samples.reserve(n);
   for (std::size_t i = 0; i < n; ++i)

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/spans.h"
 
 namespace mfbo::mf {
 
@@ -22,14 +23,20 @@ void Ar1Model::fit(std::vector<Vector> x_low, std::vector<double> y_low,
              x_high.size(), " high");
   MFBO_CHECK(x_high.size() == y_high.size(), "high-fidelity size mismatch: ",
              x_high.size(), " inputs vs ", y_high.size(), " targets");
-  low_gp_.fit(std::move(x_low), std::move(y_low));
+  {
+    const spans::ScopedSpan span("fit_low");
+    low_gp_.fit(std::move(x_low), std::move(y_low));
+  }
   x_high_ = std::move(x_high);
   y_high_ = std::move(y_high);
   rebuildDelta(/*retrain=*/true);
 }
 
 void Ar1Model::addLow(const Vector& x, double y, bool retrain) {
-  low_gp_.addPoint(x, y, retrain);
+  {
+    const spans::ScopedSpan span("fit_low");
+    low_gp_.addPoint(x, y, retrain);
+  }
   if (retrain) {
     rebuildDelta(/*retrain=*/true);
     return;
@@ -52,11 +59,13 @@ void Ar1Model::addHigh(const Vector& x, double y, bool retrain) {
   // Keep ρ frozen and append just the new residual to the discrepancy GP
   // incrementally (O(n²)) instead of re-estimating ρ and rebuilding every
   // residual at O(n³).
+  const spans::ScopedSpan span("fit_high");
   delta_gp_.addPoint(x, y - rho_ * low_gp_.predict(x).mean,
                      /*retrain=*/false);
 }
 
 void Ar1Model::rebuildDelta(bool retrain) {
+  const spans::ScopedSpan span("fit_high");
   // ρ by least squares: minimize Σ (y_h − ρ·µ_l)² ⇒ ρ = Σ µ y / Σ µ².
   double num = 0.0, den = 0.0;
   std::vector<double> mu_low(x_high_.size());

@@ -1,6 +1,7 @@
 #include "mf/multilevel.h"
 
 #include "common/check.h"
+#include "common/spans.h"
 
 namespace mfbo::mf {
 
@@ -67,7 +68,10 @@ void MultilevelNargp::add(std::size_t level, const linalg::Vector& x,
 }
 
 void MultilevelNargp::rebuildFrom(std::size_t from, bool retrain) {
+  MFBO_DCHECK(from < numLevels(), "level ", from, " out of range [0,",
+              numLevels(), ")");
   for (std::size_t l = from; l < numLevels(); ++l) {
+    const spans::ScopedSpan span(l == 0 ? "fit_low" : "fit_high");
     if (l == 0) {
       if (retrain || !gps_[0].fitted()) {
         gps_[0].fit(x_[0], y_[0]);

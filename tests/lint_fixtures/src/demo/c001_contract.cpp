@@ -1,0 +1,12 @@
+// Fixture: C001 fires on a public entry point with unvalidated inputs.
+#include <cstddef>
+
+namespace demo {
+
+double meanOf(const double* values, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += values[i];
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace demo

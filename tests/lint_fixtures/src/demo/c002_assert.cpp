@@ -1,0 +1,11 @@
+// Fixture: C002 fires on bare assert().
+#include <cassert>
+
+namespace demo {
+
+int half(int value) {
+  assert(value % 2 == 0);
+  return value / 2;
+}
+
+}  // namespace demo

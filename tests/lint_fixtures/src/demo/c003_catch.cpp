@@ -1,0 +1,12 @@
+// Fixture: C003 fires on catch (...) that swallows.
+namespace demo {
+
+double guarded(double x) {
+  try {
+    return 1.0 / x;
+  } catch (...) {
+  }
+  return 0.0;
+}
+
+}  // namespace demo

@@ -1,0 +1,8 @@
+// Fixture: D001 fires on ambient randomness outside linalg::Rng.
+#include <cstdlib>
+
+namespace demo {
+
+int noisyDraw() { return std::rand() % 6; }
+
+}  // namespace demo

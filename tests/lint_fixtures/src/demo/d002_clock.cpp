@@ -1,0 +1,10 @@
+// Fixture: D002 fires on wall-clock reads outside telemetry/spans/bench.
+#include <chrono>
+
+namespace demo {
+
+long long stampNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace demo

@@ -1,0 +1,14 @@
+// Fixture: D003 fires on iteration over a hash container.
+#include <unordered_map>
+
+namespace demo {
+
+double tally() {
+  std::unordered_map<int, double> weights;
+  weights[1] = 2.0;
+  double acc = 0.0;
+  for (const auto& entry : weights) acc += entry.second;
+  return acc;
+}
+
+}  // namespace demo

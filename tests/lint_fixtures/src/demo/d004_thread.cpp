@@ -1,0 +1,11 @@
+// Fixture: D004 fires on raw std::thread outside common/parallel.
+#include <thread>
+
+namespace demo {
+
+void runOnce() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace demo

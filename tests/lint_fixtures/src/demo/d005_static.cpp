@@ -1,0 +1,8 @@
+// Fixture: D005 fires on mutable static state in src/.
+namespace demo {
+
+static int call_count = 0;
+
+int bump() { return ++call_count; }
+
+}  // namespace demo

@@ -1,0 +1,11 @@
+// Fixture: O001 fires — this file is registered for the `demo_phase`
+// hot path (see the test's Config) but never opens its ScopedSpan.
+namespace demo {
+
+double hotLoop(double x) {
+  double acc = 0.0;
+  for (int i = 0; i < 100; ++i) acc += x * static_cast<double>(i);
+  return acc;
+}
+
+}  // namespace demo

@@ -1,0 +1,7 @@
+// Fixture: O002 fires — this source is deliberately absent from the
+// sibling CMakeLists.txt.
+namespace demo {
+
+double identityOf(double x) { return x; }
+
+}  // namespace demo

@@ -1,0 +1,7 @@
+// Fixture: S001 fires on a suppression that silences nothing.
+namespace demo {
+
+// mfbo-lint: allow(D001) — fixture: the next line draws no entropy
+double quiet(double x) { return x + 1.0; }
+
+}  // namespace demo

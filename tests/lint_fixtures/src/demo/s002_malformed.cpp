@@ -1,0 +1,10 @@
+// Fixture: S002 fires on reason-less and unparseable suppressions.
+namespace demo {
+
+// mfbo-lint: allow(D005)
+static int hidden_total = 0;
+
+// mfbo-lint: allowD001 — typo in the marker, must not silently no-op
+int bumpHidden() { return ++hidden_total; }
+
+}  // namespace demo

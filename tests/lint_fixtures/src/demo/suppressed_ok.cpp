@@ -1,0 +1,11 @@
+// Fixture: a well-formed suppression silences its finding — no output.
+#include <cstdlib>
+
+namespace demo {
+
+int seededElsewhere() {
+  // mfbo-lint: allow(D001) — fixture: demonstrates a reviewed exception
+  return std::rand() % 6;
+}
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// Clean twin of c001: inputs validated by the first statement.
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace demo {
+
+double meanOf(const double* values, std::size_t n) {
+  MFBO_CHECK(values != nullptr && n >= 1, "need a non-empty value array");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += values[i];
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace demo

@@ -1,0 +1,11 @@
+// Clean twin of c002: MFBO_DCHECK survives every build type.
+#include "common/check.h"
+
+namespace demo {
+
+int half(int value) {
+  MFBO_DCHECK(value % 2 == 0, "value must be even, got ", value);
+  return value / 2;
+}
+
+}  // namespace demo

@@ -1,0 +1,12 @@
+// Clean twin of c003: the catch-all rethrows, failures stay visible.
+namespace demo {
+
+double guarded(double x) {
+  try {
+    return 1.0 / x;
+  } catch (...) {
+    throw;
+  }
+}
+
+}  // namespace demo

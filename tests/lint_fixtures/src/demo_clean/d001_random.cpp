@@ -1,0 +1,6 @@
+// Clean twin of d001: deterministic arithmetic, no ambient randomness.
+namespace demo {
+
+int steadyDraw(int seed) { return seed % 6; }
+
+}  // namespace demo

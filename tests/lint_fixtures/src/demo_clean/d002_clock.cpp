@@ -1,0 +1,6 @@
+// Clean twin of d002: time enters as data, never from the wall clock.
+namespace demo {
+
+long long stampOf(long long tick) { return tick; }
+
+}  // namespace demo

@@ -1,0 +1,14 @@
+// Clean twin of d003: ordered container, deterministic iteration.
+#include <map>
+
+namespace demo {
+
+double tally() {
+  std::map<int, double> weights;
+  weights[1] = 2.0;
+  double acc = 0.0;
+  for (const auto& entry : weights) acc += entry.second;
+  return acc;
+}
+
+}  // namespace demo

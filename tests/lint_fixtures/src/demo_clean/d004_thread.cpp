@@ -1,0 +1,11 @@
+// Clean twin of d004: sequential loop (real code would use
+// parallel::parallelFor from the deterministic pool).
+namespace demo {
+
+double runOnce() {
+  double acc = 0.0;
+  for (int i = 0; i < 8; ++i) acc += static_cast<double>(i);
+  return acc;
+}
+
+}  // namespace demo

@@ -1,0 +1,8 @@
+// Clean twin of d005: compile-time constant, no mutable process state.
+namespace demo {
+
+constexpr int kMaxCalls = 64;
+
+int clampCalls(int n) { return n < kMaxCalls ? n : kMaxCalls; }
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+// Clean twin of o001: the registered `demo_phase` span is opened.
+#include "common/spans.h"
+
+namespace demo {
+
+double hotLoop(double x) {
+  const mfbo::spans::ScopedSpan span("demo_phase");
+  double acc = 0.0;
+  for (int i = 0; i < 100; ++i) acc += x * static_cast<double>(i);
+  return acc;
+}
+
+}  // namespace demo

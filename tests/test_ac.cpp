@@ -8,6 +8,7 @@
 
 #include "circuit/ac.h"
 #include "circuit/netlist.h"
+#include "common/check.h"
 
 namespace {
 
@@ -185,9 +186,9 @@ TEST(AcAnalysis, ValidatesSweepParameters) {
   Netlist n;
   n.addResistor("r", n.node("a"), kGround, 1.0);
   Simulator sim(n);
-  EXPECT_THROW(acAnalysis(sim, 0.0, 1e6), std::invalid_argument);
-  EXPECT_THROW(acAnalysis(sim, 1e6, 1e3), std::invalid_argument);
-  EXPECT_THROW(acAnalysis(sim, 1e3, 1e6, 0), std::invalid_argument);
+  EXPECT_THROW(acAnalysis(sim, 0.0, 1e6), mfbo::ContractViolation);
+  EXPECT_THROW(acAnalysis(sim, 1e6, 1e3), mfbo::ContractViolation);
+  EXPECT_THROW(acAnalysis(sim, 1e3, 1e6, 0), mfbo::ContractViolation);
 }
 
 TEST(AcAnalysis, NoUnityCrossingReturnsZero) {

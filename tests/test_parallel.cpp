@@ -77,6 +77,7 @@ TEST(MaxThreads, EnvironmentVariableIsHonored) {
 
 TEST(MaxThreads, MalformedEnvironmentFallsBackToHardware) {
   const ScopedThreads reset(0);
+  // mfbo-lint: allow(D004) — mirrors maxThreads()'s hardware fallback
   const unsigned hw = std::thread::hardware_concurrency();
   const std::size_t expected = hw > 0 ? hw : 1;
   {

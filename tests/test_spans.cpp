@@ -3,8 +3,6 @@
 // determinism (1 vs 4 threads), disabled-mode zero-allocation, and a
 // golden-schema check pinning the trace/artifact JSON keys that
 // tools/run_report.py and the docs consume.
-#include "common/spans.h"
-
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -14,6 +12,7 @@
 
 #include "bo/mfbo.h"
 #include "common/parallel.h"
+#include "common/spans.h"
 #include "common/telemetry.h"
 #include "problems/synthetic.h"
 

@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
-# Static-analysis runner: header lint always, clang-tidy when available.
+# Static-analysis runner: header lint, mfbo-lint (project invariants),
+# python tooling lint always; clang-format / clang-tidy when available.
 #
-# Usage: tools/lint.sh [paths...]        (default: src/)
+# Usage: tools/lint.sh [paths...]        (default: src tests bench examples)
 #
 # clang-tidy needs a compile_commands.json; the script configures the
-# `tidy` CMake preset on demand to produce one. On machines without
-# clang-tidy (e.g. a gcc-only container) the tidy step is skipped with a
-# notice — CI runs it on a clang image, so nothing slips through.
+# `tidy` CMake preset on demand to produce one. On machines without the
+# clang tooling (e.g. a gcc-only container) those steps are skipped with a
+# notice — CI runs them on a clang image, so nothing slips through.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
 paths=("$@")
+tidy_paths=(src)
 if [[ ${#paths[@]} -eq 0 ]]; then
-  paths=(src)
+  paths=(src tests bench examples)
+else
+  tidy_paths=("${paths[@]}")
 fi
 
 status=0
@@ -22,15 +26,30 @@ status=0
 echo "== check_headers =="
 python3 tools/check_headers.py "${paths[@]}" || status=1
 
+echo "== mfbo-lint =="
+PYTHONPATH=tools python3 -m mfbo_lint "${paths[@]}" || status=1
+
 echo "== python tools =="
-mapfile -t py_tools < <(find tools -name '*.py' | sort)
+mapfile -t py_files < <(find tools tests -name '*.py' | sort)
 # Syntax gate always (py_compile ships with the interpreter); pyflakes
 # adds unused-import/undefined-name checks on machines that have it.
-python3 -m py_compile "${py_tools[@]}" || status=1
+python3 -m py_compile "${py_files[@]}" || status=1
 if python3 -m pyflakes --help > /dev/null 2>&1; then
-  python3 -m pyflakes "${py_tools[@]}" || status=1
+  python3 -m pyflakes "${py_files[@]}" || status=1
 else
   echo "pyflakes not found; ran py_compile only"
+fi
+
+echo "== clang-format =="
+if command -v clang-format > /dev/null 2>&1; then
+  mapfile -t formatted < <(
+    find "${paths[@]}" \( -name '*.h' -o -name '*.cpp' \) | sort
+  )
+  if [[ ${#formatted[@]} -gt 0 ]]; then
+    clang-format --dry-run -Werror "${formatted[@]}" || status=1
+  fi
+else
+  echo "clang-format not found; skipped (CI runs it on a clang image)"
 fi
 
 echo "== clang-tidy =="
@@ -39,8 +58,12 @@ if command -v clang-tidy > /dev/null 2>&1; then
   if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
     cmake --preset tidy -DCMAKE_CXX_CLANG_TIDY= > /dev/null
   fi
-  # Collect translation units under the requested paths.
-  mapfile -t sources < <(find "${paths[@]}" -name '*.cpp' | sort)
+  # Collect translation units under the requested paths; the lint
+  # fixtures are deliberately broken and never compiled, so prune them.
+  mapfile -t sources < <(
+    find "${tidy_paths[@]}" -path tests/lint_fixtures -prune -o \
+      -name '*.cpp' -print | sort
+  )
   if [[ ${#sources[@]} -gt 0 ]]; then
     clang-tidy -p "${build_dir}" --quiet "${sources[@]}" || status=1
   fi

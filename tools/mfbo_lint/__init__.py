@@ -1,0 +1,23 @@
+"""mfbo-lint: project-invariant static analysis for the mfbo codebase.
+
+Rule families (see DESIGN.md "Static analysis" for the rationale):
+
+  D-rules  determinism   — ban ambient randomness, wall-clock reads,
+                           unordered iteration, and raw threading outside
+                           the audited infrastructure layers.
+  C-rules  contracts     — public numeric entry points must validate via
+                           MFBO_CHECK*; no bare assert(); no swallowed
+                           catch (...).
+  O-rules  observability — registered hot-path phases must open a
+                           ScopedSpan; every .cpp must be built by its
+                           module's CMakeLists.txt.
+  S/B      hygiene       — suppression comments and baseline entries that
+                           no longer match a finding are themselves errors.
+
+Entry point: `python3 -m mfbo_lint [paths...]` (with tools/ on PYTHONPATH)
+or via tools/lint.sh, which wires it into the repo-wide lint run.
+"""
+
+from mfbo_lint.engine import LintEngine, Finding  # noqa: F401
+
+__all__ = ["LintEngine", "Finding"]

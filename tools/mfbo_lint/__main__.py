@@ -1,0 +1,65 @@
+"""CLI: `python3 -m mfbo_lint [paths...]` (tools/ on PYTHONPATH) or
+`python3 tools/mfbo_lint/__main__.py` directly."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from mfbo_lint.engine import LintEngine, list_rules, print_report, write_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mfbo_lint",
+        description="Project-invariant static analysis for the mfbo repo "
+        "(determinism / contract / observability rules).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests bench "
+        "examples, minus tests/lint_fixtures)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent.parent,
+        help="repo root all relative paths and allowlists resolve against",
+    )
+    parser.add_argument(
+        "--json", type=Path, metavar="FILE", help="write a JSON report"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        help="baseline file (default: tools/mfbo_lint/baseline.txt)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, name in list_rules():
+            print(f"{rule_id}  {name}")
+        return 0
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"mfbo_lint: root {root} is not a directory", file=sys.stderr)
+        return 2
+    engine = LintEngine(root)
+    report = engine.run(args.paths or None, baseline_path=args.baseline)
+    if args.json:
+        write_report(report, args.json)
+    print_report(report)
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Repo-specific configuration: scopes, allowlists, hot-path registry.
+
+Everything here is expressed in repo-relative POSIX paths. A rule's
+allowlist names the *audited* exceptions — the infrastructure layer that is
+allowed to own the dangerous construct because it is what makes the rest of
+the codebase safe (e.g. common/parallel.cpp may use std::thread: it *is*
+the thread pool). Everything else needs an inline suppression with a
+reason, which keeps every exception greppable and reviewed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Directories scanned by default (relative to the repo root).
+DEFAULT_PATHS = ["src", "tests", "bench", "examples"]
+
+# Never scanned: deliberately-offending lint fixtures and build trees.
+DEFAULT_EXCLUDES = [
+    "tests/lint_fixtures",
+    "build",
+]
+EXCLUDE_PREFIXES = ["build-", "build/"]
+
+CPP_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
+
+
+def _path_in(path: str, prefixes: tuple[str, ...]) -> bool:
+    return any(
+        path == p or path.startswith(p.rstrip("/") + "/") or path == p.rstrip("/")
+        for p in prefixes
+    )
+
+
+@dataclass
+class HotPath:
+    """A registered hot-path phase: `file` must open ScopedSpan(`span`)."""
+
+    file: str
+    span: str
+
+
+@dataclass
+class Config:
+    # D001: ambient RNG. linalg/rng.* is the one audited seeding site.
+    rng_allowed: tuple[str, ...] = ("src/linalg/rng.h", "src/linalg/rng.cpp")
+
+    # D002: wall-clock reads. Telemetry and the span profiler measure time
+    # by design; bench harnesses time their own repeat loops.
+    clock_allowed: tuple[str, ...] = (
+        "src/common/telemetry.h",
+        "src/common/telemetry.cpp",
+        "src/common/spans.h",
+        "src/common/spans.cpp",
+        "bench",
+    )
+
+    # D004: raw threading primitives. common/parallel.* is the pool.
+    thread_allowed: tuple[str, ...] = (
+        "src/common/parallel.h",
+        "src/common/parallel.cpp",
+    )
+
+    # D005: mutable static state. common/ is the audited process-wide state
+    # layer (telemetry registries, the pool, span arenas); statics elsewhere
+    # in src/ need a suppression. Interned telemetry handles
+    # (`static telemetry::Counter& c = telemetry::counter(...)`) are the
+    # documented idiom and exempted structurally in the rule itself.
+    static_allowed: tuple[str, ...] = ("src/common",)
+    # Only src/ carries the no-mutable-static invariant; tests and benches
+    # own their processes.
+    static_scope: tuple[str, ...] = ("src",)
+
+    # C001: contract checks on public numeric entry points (src/ only).
+    contract_scope: tuple[str, ...] = ("src",)
+    # Statements from the top of the body within which an MFBO_CHECK* must
+    # appear (value-validating code may precede, e.g. unpacking a pair).
+    contract_window: int = 6
+
+    # O001: registered hot paths — the phase names serialized by the span
+    # tree that the perf gate and run reports attribute cost to. Adding an
+    # algorithm/phase? Register it here so the instrumentation cannot rot.
+    hot_paths: tuple[HotPath, ...] = (
+        HotPath("src/bo/mfbo.cpp", "mfbo"),
+        HotPath("src/bo/mfbo.cpp", "acq_low"),
+        HotPath("src/bo/mfbo.cpp", "acq_high"),
+        HotPath("src/bo/mfbo.cpp", "fidelity_decision"),
+        HotPath("src/bo/mfbo.cpp", "simulate_low"),
+        HotPath("src/bo/mfbo.cpp", "simulate_high"),
+        HotPath("src/bo/mfbo.cpp", "observe"),
+        HotPath("src/bo/weibo.cpp", "weibo"),
+        HotPath("src/bo/weibo.cpp", "acq_high"),
+        HotPath("src/bo/weibo.cpp", "fit_high"),
+        HotPath("src/bo/weibo.cpp", "simulate_high"),
+        HotPath("src/bo/weibo.cpp", "observe"),
+        HotPath("src/bo/gaspad.cpp", "gaspad"),
+        HotPath("src/bo/gaspad.cpp", "acq_high"),
+        HotPath("src/bo/gaspad.cpp", "fit_high"),
+        HotPath("src/bo/gaspad.cpp", "simulate_high"),
+        HotPath("src/bo/gaspad.cpp", "observe"),
+        HotPath("src/bo/de_baseline.cpp", "de"),
+        HotPath("src/bo/de_baseline.cpp", "simulate_high"),
+        HotPath("src/bo/de_baseline.cpp", "observe"),
+        HotPath("src/mf/nargp.cpp", "fit_low"),
+        HotPath("src/mf/nargp.cpp", "fit_high"),
+        HotPath("src/mf/nargp.cpp", "mc_integration"),
+        HotPath("src/mf/ar1.cpp", "fit_low"),
+        HotPath("src/mf/ar1.cpp", "fit_high"),
+        HotPath("src/mf/multilevel.cpp", "fit_low"),
+        HotPath("src/mf/multilevel.cpp", "fit_high"),
+        HotPath("src/gp/gp_regressor.cpp", "gp_train"),
+        HotPath("src/gp/gp_regressor.cpp", "gp_rebuild"),
+        HotPath("src/gp/gp_regressor.cpp", "gp_extend"),
+        HotPath("src/gp/gp_regressor.cpp", "nlml_restart"),
+        HotPath("src/linalg/cholesky.cpp", "cholesky_factor"),
+        HotPath("src/linalg/cholesky.cpp", "cholesky_append"),
+        HotPath("src/opt/multistart.cpp", "multistart"),
+        HotPath("src/opt/multistart.cpp", "local_search"),
+    )
+
+    # O002: directories whose CMakeLists.txt must build every sibling .cpp.
+    cmake_scope: tuple[str, ...] = ("src", "tests", "bench", "examples")
+
+    excludes: tuple[str, ...] = tuple(DEFAULT_EXCLUDES)
+    extra: dict = field(default_factory=dict)
+
+    def is_excluded(self, relpath: str) -> bool:
+        if _path_in(relpath, self.excludes):
+            return True
+        return any(relpath.startswith(p) for p in EXCLUDE_PREFIXES)
+
+    def allowed(self, relpath: str, prefixes: tuple[str, ...]) -> bool:
+        return _path_in(relpath, prefixes)

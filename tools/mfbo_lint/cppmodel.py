@@ -1,0 +1,396 @@
+"""Lightweight structural model over the token stream.
+
+Recovers just enough C++ structure for the rules:
+
+  * function definitions — name, qualified name, parameter token slices,
+    body token range, whether the function is internal linkage (file-level
+    `static` or anonymous namespace);
+  * which token indices sit inside a function body (for the static-local
+    rule);
+  * statement boundaries inside a body (for the "contract check within the
+    first statements" rule).
+
+It is heuristic by design: the codebase is written in a consistent house
+style (clang-format enforced, no macros generating function heads), and the
+fixture suite in tests/lint_fixtures pins the behaviours the rules rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from mfbo_lint.lexer import Token
+
+# Tokens that may appear between `)` and the body `{` of a definition.
+_TAIL_OK = {
+    "const",
+    "noexcept",
+    "override",
+    "final",
+    "mutable",
+    "&",
+    "&&",
+    "->",
+}
+
+
+@dataclass
+class Param:
+    tokens: list[Token]
+
+    def type_text(self) -> str:
+        # Drop a trailing `= default` expression, keep the rest verbatim.
+        toks = self.tokens
+        for i, t in enumerate(toks):
+            if t.kind == "punct" and t.value == "=":
+                toks = toks[:i]
+                break
+        return " ".join(t.value for t in toks)
+
+
+@dataclass
+class Function:
+    name: str  # unqualified, e.g. "predict" or "operator"
+    qualified: str  # e.g. "GpRegressor::predict"
+    line: int
+    params: list[Param]
+    body_range: tuple[int, int]  # token indices of `{` and matching `}`
+    internal: bool  # anonymous namespace or file-level static
+    is_lambda: bool = False
+
+
+@dataclass
+class Model:
+    tokens: list[Token]
+    functions: list[Function] = field(default_factory=list)
+
+    def in_body(self, index: int) -> Function | None:
+        for f in self.functions:
+            lo, hi = f.body_range
+            if lo < index < hi:
+                return f
+        return None
+
+
+def _match_forward(tokens: list[Token], i: int, open_c: str, close_c: str) -> int:
+    """Index of the punct closing the one at i, or len(tokens)."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.value == open_c:
+                depth += 1
+            elif t.value == close_c:
+                depth -= 1
+                if depth == 0:
+                    return i
+        i += 1
+    return n
+
+
+def _skip_template_args(tokens: list[Token], i: int) -> int:
+    """Given i at `<`, return index past the matching `>` (shallow, best
+    effort: bails at `;` or `{` so expressions never send it off a cliff)."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        v = tokens[i].value if tokens[i].kind == "punct" else None
+        if v == "<":
+            depth += 1
+        elif v == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif v in (";", "{"):
+            return i
+        i += 1
+    return n
+
+
+def _split_params(tokens: list[Token], lo: int, hi: int) -> list[Param]:
+    """Split the (lo, hi) paren slice on top-level commas."""
+    params: list[Param] = []
+    depth_round = depth_angle = depth_brace = 0
+    cur: list[Token] = []
+    for t in tokens[lo + 1 : hi]:
+        if t.kind == "punct":
+            if t.value == "(":
+                depth_round += 1
+            elif t.value == ")":
+                depth_round -= 1
+            elif t.value == "<":
+                depth_angle += 1
+            elif t.value == ">":
+                depth_angle = max(0, depth_angle - 1)
+            elif t.value == "{":
+                depth_brace += 1
+            elif t.value == "}":
+                depth_brace -= 1
+            elif (
+                t.value == ","
+                and depth_round == 0
+                and depth_angle == 0
+                and depth_brace == 0
+            ):
+                if cur:
+                    params.append(Param(cur))
+                cur = []
+                continue
+        cur.append(t)
+    if cur:
+        params.append(Param(cur))
+    return params
+
+
+def _consume_ctor_init_list(tokens: list[Token], i: int) -> int:
+    """Given i just past `:` of a ctor init list, return index of body `{`.
+
+    Each item is `name(args)` or `name{args}`; items are comma separated and
+    the list ends at the `{` that opens the body.
+    """
+    n = len(tokens)
+    while i < n:
+        # Skip the member / base name (possibly qualified / templated).
+        while i < n and not (
+            tokens[i].kind == "punct" and tokens[i].value in "({"
+        ):
+            if tokens[i].kind == "punct" and tokens[i].value == "<":
+                i = _skip_template_args(tokens, i)
+                continue
+            i += 1
+        if i >= n:
+            return n
+        close = ")" if tokens[i].value == "(" else "}"
+        i = _match_forward(tokens, i, tokens[i].value, close) + 1
+        if i < n and tokens[i].kind == "punct" and tokens[i].value == ",":
+            i += 1
+            continue
+        break
+    # Next `{` is the body.
+    while i < n and not (tokens[i].kind == "punct" and tokens[i].value == "{"):
+        i += 1
+    return i
+
+
+def build_model(tokens: list[Token]) -> Model:
+    """Single pass: find function definitions and their body ranges."""
+    model = Model(tokens)
+    n = len(tokens)
+    i = 0
+    # Stack of ("ns"|"anon-ns"|"brace", open_index); tracks anonymous
+    # namespaces for internal-linkage detection.
+    anon_depth = 0
+    closers: list[str] = []
+
+    # Lines where a file-level `static` was seen, to mark internal funcs.
+    pending_static_line = -1
+
+    while i < n:
+        t = tokens[i]
+        if t.kind == "id" and t.value == "namespace":
+            j = i + 1
+            while j < n and tokens[j].kind == "id":
+                j += 1
+                if j < n and tokens[j].kind == "punct" and tokens[j].value == ":":
+                    j += 2  # `::` in nested-namespace definition
+            if j < n and tokens[j].kind == "punct" and tokens[j].value == "{":
+                is_anon = j == i + 1
+                closers.append("anon-ns" if is_anon else "ns")
+                if is_anon:
+                    anon_depth += 1
+                i = j + 1
+                continue
+            i = j
+            continue
+        if t.kind == "punct" and t.value == "{":
+            closers.append("brace")
+            i += 1
+            continue
+        if t.kind == "punct" and t.value == "}":
+            if closers:
+                kind = closers.pop()
+                if kind == "anon-ns":
+                    anon_depth -= 1
+            i += 1
+            continue
+        if t.kind == "id" and t.value == "static":
+            pending_static_line = t.line
+        if t.kind == "punct" and t.value == "(":
+            # Candidate function head: identifier immediately before `(`.
+            k = i - 1
+            if k < 0 or tokens[k].kind != "id":
+                i += 1
+                continue
+            name = tokens[k].value
+            if name in {
+                "if",
+                "for",
+                "while",
+                "switch",
+                "catch",
+                "return",
+                "sizeof",
+                "alignof",
+                "decltype",
+                "defined",
+                "assert",
+            }:
+                i += 1
+                continue
+            # Expression contexts are rejected by the token just before the
+            # (possibly qualified) head: `? x :`, `a - f(b)`, init-list
+            # members, casts. Statement/type contexts pass.
+            h = k - 1
+            while (
+                h - 1 >= 0
+                and tokens[h].kind == "punct"
+                and tokens[h].value == ":"
+                and tokens[h - 1].kind == "punct"
+                and tokens[h - 1].value == ":"
+                and h - 2 >= 0
+                and tokens[h - 2].kind == "id"
+            ):
+                h -= 3  # hop over `Qualifier ::`
+            if h >= 0 and tokens[h].kind == "punct" and tokens[h].value in {
+                "?", "=", "(", ",", "+", "-", "/", "!", "|", "%", "^", "[",
+                ".", "<", ":",
+            }:
+                i += 1
+                continue
+            close = _match_forward(tokens, i, "(", ")")
+            if close >= n:
+                i += 1
+                continue
+            # Walk the tail: cv-qualifiers, noexcept(...), trailing return,
+            # then either `{` (definition), `:` (ctor init list) or
+            # something else (declaration / call / expression).
+            j = close + 1
+            seen_arrow = False
+            while j < n:
+                tj = tokens[j]
+                if (
+                    tj.kind == "punct"
+                    and tj.value == "-"
+                    and j + 1 < n
+                    and tokens[j + 1].kind == "punct"
+                    and tokens[j + 1].value == ">"
+                ):
+                    seen_arrow = True
+                    j += 2
+                    continue
+                if tj.kind == "id" and (
+                    tj.value in _TAIL_OK or tj.value == "noexcept"
+                ):
+                    j += 1
+                    continue
+                if tj.kind == "punct" and tj.value == "&":
+                    j += 1
+                    continue
+                if (
+                    tj.kind == "punct"
+                    and tj.value == "("
+                    and j >= 1
+                    and tokens[j - 1].kind == "id"
+                    and tokens[j - 1].value == "noexcept"
+                ):
+                    j = _match_forward(tokens, j, "(", ")") + 1
+                    continue
+                if seen_arrow and (
+                    tj.kind == "id"
+                    or (
+                        tj.kind == "punct"
+                        and tj.value in {":", "*", "&", ">"}
+                    )
+                ):
+                    j += 1
+                    continue
+                if seen_arrow and tj.kind == "punct" and tj.value == "<":
+                    j = _skip_template_args(tokens, j)
+                    continue
+                break
+            if j >= n:
+                break
+            tj = tokens[j]
+            body_open = -1
+            if tj.kind == "punct" and tj.value == ":":
+                # Could be a ctor init list — only at a plausible ctor name.
+                body_open = _consume_ctor_init_list(tokens, j + 1)
+                if body_open >= n:
+                    i = close + 1
+                    continue
+            elif tj.kind == "punct" and tj.value == "{":
+                body_open = j
+            else:
+                i = close + 1
+                continue
+            body_close = _match_forward(tokens, body_open, "{", "}")
+            # Lambda? `](` directly before the name means no; a lambda head
+            # is `] (`, so the token before `(` is `]`, not an id — already
+            # excluded above. Qualified name: look back over `Class ::`.
+            qual = name
+            b = k - 1
+            while (
+                b - 1 >= 0
+                and tokens[b].kind == "punct"
+                and tokens[b].value == ":"
+                and tokens[b - 1].kind == "punct"
+                and tokens[b - 1].value == ":"
+            ):
+                if b - 2 >= 0 and tokens[b - 2].kind == "id":
+                    qual = tokens[b - 2].value + "::" + qual
+                    b -= 3
+                else:
+                    break
+            internal = anon_depth > 0 or (
+                pending_static_line != -1
+                and tokens[k].line - pending_static_line <= 2
+            )
+            model.functions.append(
+                Function(
+                    name=name,
+                    qualified=qual,
+                    line=tokens[k].line,
+                    params=_split_params(tokens, i, close),
+                    body_range=(body_open, body_close),
+                    internal=internal,
+                )
+            )
+            pending_static_line = -1
+            # Continue scanning *inside* the body too (nested lambdas are
+            # not modelled, but rule matchers still see their tokens).
+            i = body_open + 1
+            closers.append("brace")
+            continue
+        i += 1
+
+    return model
+
+
+def statement_prefix_end(tokens: list[Token], body_range: tuple[int, int],
+                         max_statements: int) -> int:
+    """Token index after the first `max_statements` top-level statements of
+    the body (so rules can ask "does X appear in the opening statements")."""
+    lo, hi = body_range
+    depth = 0
+    statements = 0
+    i = lo + 1
+    while i < hi:
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.value in "({[":
+                depth += 1
+            elif t.value in ")}]":
+                depth -= 1
+                if depth < 0:
+                    return i
+                if depth == 0 and t.value == "}":
+                    statements += 1  # a nested block counts as one
+                    if statements >= max_statements:
+                        return i + 1
+            elif t.value == ";" and depth == 0:
+                statements += 1
+                if statements >= max_statements:
+                    return i + 1
+        i += 1
+    return hi

@@ -1,0 +1,343 @@
+"""Rule engine: file scanning, suppressions, baseline, JSON report.
+
+Suppressions
+------------
+An inline comment silences one finding instance, and must carry a reason:
+
+    // mfbo-lint: allow(D004) — test battery needs raw threads
+    // mfbo-lint: allow(D001,D002) — fixture exercising both rules
+
+The comment applies to findings on its own line or the next line. A
+file-level variant near the top of a file silences a rule for the whole
+file (used sparingly; prefer line suppressions):
+
+    // mfbo-lint: allow-file(D004) — this test *is* about raw std::thread
+
+A suppression that silences nothing is itself an error (S001): stale
+annotations rot into falsehoods. A suppression without a reason is an
+error (S002): the reason is what makes the exception reviewable.
+
+Baseline
+--------
+`tools/mfbo_lint/baseline.txt` may list `RULE path` lines for known
+findings during a transition; baselined findings do not fail the run, but
+stale entries do (B001), and CI separately requires the file to be empty
+at merge.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from mfbo_lint.config import CPP_SUFFIXES, Config
+from mfbo_lint.cppmodel import Model, build_model
+from mfbo_lint.lexer import Comment, Token, lex
+
+SUPPRESS_RE = re.compile(
+    r"mfbo-lint:\s*(allow|allow-file)\(([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)\)"
+    r"(?:\s*(?:—|–|-|:)\s*(\S.*?))?\s*(?:\*/\s*)?$"
+)
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def key(self) -> str:
+        return f"{self.rule} {self.path}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+@dataclass
+class Rule:
+    rule_id: str
+    name: str
+    check: object  # callable(FileContext) -> iterable[Finding]
+
+
+@dataclass
+class ProjectRule:
+    rule_id: str
+    name: str
+    check: object  # callable(root, files, config) -> iterable[Finding]
+
+
+@dataclass
+class Suppression:
+    line: int
+    rules: tuple[str, ...]
+    file_level: bool
+    reason: str | None
+    used: bool = False
+
+
+@dataclass
+class FileContext:
+    root: Path
+    relpath: str
+    text: str
+    tokens: list[Token]
+    comments: list[Comment]
+    model: Model
+    config: Config
+    header_tokens: list[Token] | None = None
+    suppressions: list[Suppression] = field(default_factory=list)
+
+
+def _parse_suppressions(comments: list[Comment]) -> list[Suppression]:
+    out: list[Suppression] = []
+    for c in comments:
+        if "mfbo-lint" not in c.text:
+            continue
+        m = SUPPRESS_RE.search(c.text.splitlines()[0])
+        if not m:
+            # Mentions mfbo-lint but does not parse — surfaced as S002 so a
+            # typo cannot silently disable nothing.
+            out.append(Suppression(c.line, (), False, None))
+            continue
+        rules = tuple(r.strip() for r in m.group(2).split(","))
+        out.append(
+            Suppression(c.line, rules, m.group(1) == "allow-file", m.group(3))
+        )
+    return out
+
+
+def _all_rules() -> tuple[list[Rule], list[ProjectRule]]:
+    from mfbo_lint import rules_contracts, rules_determinism, rules_observability
+
+    rules = (
+        rules_determinism.RULES
+        + rules_contracts.RULES
+        + rules_observability.RULES
+    )
+    return rules, rules_observability.PROJECT_RULES
+
+
+def list_rules() -> list[tuple[str, str]]:
+    rules, project_rules = _all_rules()
+    out = [(r.rule_id, r.name) for r in rules]
+    out += [(r.rule_id, r.name) for r in project_rules]
+    out += [
+        ("S001", "unused-suppression"),
+        ("S002", "malformed-suppression"),
+        ("B001", "stale-baseline-entry"),
+    ]
+    return out
+
+
+class LintEngine:
+    def __init__(self, root: Path, config: Config | None = None):
+        self.root = Path(root)
+        self.config = config or Config()
+
+    # -- file discovery ---------------------------------------------------
+
+    def discover(self, paths: list[str]) -> list[str]:
+        files: list[str] = []
+        for p in paths:
+            full = (self.root / p) if not Path(p).is_absolute() else Path(p)
+            if full.is_file():
+                rel = full.resolve().relative_to(self.root.resolve()).as_posix()
+                if not self.config.is_excluded(rel):
+                    files.append(rel)
+                continue
+            for f in sorted(full.rglob("*")):
+                if f.suffix not in CPP_SUFFIXES or not f.is_file():
+                    continue
+                rel = f.resolve().relative_to(self.root.resolve()).as_posix()
+                if not self.config.is_excluded(rel):
+                    files.append(rel)
+        return files
+
+    def _load(self, relpath: str) -> FileContext:
+        path = self.root / relpath
+        text = path.read_text(encoding="utf-8")
+        tokens, comments = lex(text)
+        header_tokens = None
+        if path.suffix in {".cpp", ".cc"}:
+            for hsuf in (".h", ".hpp"):
+                header = path.with_suffix(hsuf)
+                if header.is_file():
+                    header_tokens, _ = lex(
+                        header.read_text(encoding="utf-8")
+                    )
+                    break
+        return FileContext(
+            root=self.root,
+            relpath=relpath,
+            text=text,
+            tokens=tokens,
+            comments=comments,
+            model=build_model(tokens),
+            config=self.config,
+            header_tokens=header_tokens,
+            suppressions=_parse_suppressions(comments),
+        )
+
+    # -- suppression & baseline handling ----------------------------------
+
+    @staticmethod
+    def _apply_suppressions(
+        ctx: FileContext, findings: list[Finding]
+    ) -> tuple[list[Finding], int]:
+        kept: list[Finding] = []
+        suppressed = 0
+        for f in findings:
+            hit = None
+            for s in ctx.suppressions:
+                if f.rule not in s.rules:
+                    continue
+                if s.file_level or f.line in (s.line, s.line + 1):
+                    hit = s
+                    break
+            if hit is not None:
+                hit.used = True
+                suppressed += 1
+            else:
+                kept.append(f)
+        return kept, suppressed
+
+    @staticmethod
+    def _suppression_findings(ctx: FileContext) -> list[Finding]:
+        out: list[Finding] = []
+        for s in ctx.suppressions:
+            if not s.rules:
+                out.append(
+                    Finding(
+                        "S002",
+                        ctx.relpath,
+                        s.line,
+                        "mfbo-lint comment does not parse; expected "
+                        "`// mfbo-lint: allow(RULE) — reason`",
+                    )
+                )
+            elif s.reason is None:
+                out.append(
+                    Finding(
+                        "S002",
+                        ctx.relpath,
+                        s.line,
+                        f"suppression for {','.join(s.rules)} has no reason; "
+                        "append `— <why this exception is sound>`",
+                    )
+                )
+            elif not s.used:
+                out.append(
+                    Finding(
+                        "S001",
+                        ctx.relpath,
+                        s.line,
+                        f"suppression for {','.join(s.rules)} matches no "
+                        "finding; delete the stale annotation",
+                    )
+                )
+        return out
+
+    def load_baseline(self, baseline_path: Path | None) -> list[str]:
+        path = baseline_path or (self.root / "tools/mfbo_lint/baseline.txt")
+        if not path.is_file():
+            return []
+        entries: list[str] = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.append(line)
+        return entries
+
+    # -- main entry --------------------------------------------------------
+
+    def run(
+        self,
+        paths: list[str] | None = None,
+        baseline_path: Path | None = None,
+    ) -> dict:
+        from mfbo_lint.config import DEFAULT_PATHS
+
+        rules, project_rules = _all_rules()
+        scan_paths = paths or [
+            p for p in DEFAULT_PATHS if (self.root / p).exists()
+        ]
+        relpaths = self.discover(scan_paths)
+        files: dict[str, FileContext] = {}
+        findings: list[Finding] = []
+        suppressed_count = 0
+
+        for relpath in relpaths:
+            ctx = self._load(relpath)
+            files[relpath] = ctx
+            raw: list[Finding] = []
+            for rule in rules:
+                raw.extend(rule.check(ctx))
+            kept, suppressed = self._apply_suppressions(ctx, raw)
+            suppressed_count += suppressed
+            findings.extend(kept)
+            findings.extend(self._suppression_findings(ctx))
+
+        for prule in project_rules:
+            findings.extend(prule.check(self.root, files, self.config))
+
+        baseline = self.load_baseline(baseline_path)
+        active: list[Finding] = []
+        baselined: list[Finding] = []
+        matched_entries: set[str] = set()
+        for f in findings:
+            if f.key() in baseline:
+                baselined.append(f)
+                matched_entries.add(f.key())
+            else:
+                active.append(f)
+        for entry in baseline:
+            if entry not in matched_entries:
+                active.append(
+                    Finding(
+                        "B001",
+                        "tools/mfbo_lint/baseline.txt",
+                        1,
+                        f"stale baseline entry `{entry}` matches no finding; "
+                        "remove it",
+                    )
+                )
+
+        active.sort(key=lambda f: (f.path, f.line, f.rule))
+        counts: dict[str, int] = {}
+        for f in active:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return {
+            "version": 1,
+            "root": str(self.root),
+            "paths": scan_paths,
+            "files_scanned": len(relpaths),
+            "findings": [f.__dict__ for f in active],
+            "baselined": [f.__dict__ for f in baselined],
+            "suppressed_count": suppressed_count,
+            "counts_by_rule": counts,
+            "ok": not active,
+        }
+
+
+def write_report(report: dict, path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+
+def print_report(report: dict, stream=sys.stdout) -> None:
+    for f in report["findings"]:
+        print(
+            f"{f['path']}:{f['line']}: {f['rule']}: {f['message']}",
+            file=stream,
+        )
+    n = len(report["findings"])
+    print(
+        f"mfbo-lint: {report['files_scanned']} files, {n} finding(s), "
+        f"{len(report['baselined'])} baselined, "
+        f"{report['suppressed_count']} suppressed",
+        file=stream,
+    )

@@ -1,0 +1,159 @@
+"""A small C++ tokenizer sufficient for rule matching.
+
+Produces a flat token stream with line numbers, and a separate list of
+comments (the engine parses `// mfbo-lint: allow(...)` suppressions out of
+them). String/char literals — including raw strings — are single tokens, so
+rules never match identifiers inside literals. Preprocessor directives are
+captured as one `pp` token per (continued) logical line, which is how the
+OpenMP ban sees `#pragma omp`.
+
+This is deliberately not a real parser: it only has to be exact about
+token boundaries, comments, and literals, which is what keeps the rule
+matchers free of string-soup false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds: id, num, str, char, punct, pp
+ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+ID_CONT = ID_START | set("0123456789")
+DIGITS = set("0123456789")
+RAW_PREFIXES = {"R", "u8R", "uR", "UR", "LR"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Comment:
+    line: int  # line the comment starts on
+    text: str
+
+
+def lex(text: str) -> tuple[list[Token], list[Comment]]:
+    tokens: list[Token] = []
+    comments: list[Comment] = []
+    i, line, n = 0, 1, len(text)
+    bol = True  # at beginning of line (modulo whitespace)
+
+    def skip_string(j: int, quote: str) -> int:
+        """Return index just past the closing quote, honoring escapes."""
+        while j < n:
+            if text[j] == "\\":
+                j += 2
+                continue
+            if text[j] == quote:
+                return j + 1
+            if text[j] == "\n":
+                return j  # unterminated: stop at EOL, stay recoverable
+            j += 1
+        return j
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            bol = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            comments.append(Comment(line, text[i:j]))
+            i = j
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            comments.append(Comment(line, text[i:j]))
+            line += text.count("\n", i, j)
+            i = j
+            continue
+        if c == "#" and bol:
+            # One pp token per logical line (backslash continuations join).
+            start, start_line = i, line
+            while i < n:
+                j = text.find("\n", i)
+                j = n if j == -1 else j
+                if text[i:j].rstrip().endswith("\\"):
+                    line += 1
+                    i = j + 1
+                    continue
+                i = j
+                break
+            tokens.append(Token("pp", text[start:i], start_line))
+            continue
+        bol = False
+        if c in ID_START:
+            j = i + 1
+            while j < n and text[j] in ID_CONT:
+                j += 1
+            word = text[i:j]
+            if word in RAW_PREFIXES and j < n and text[j] == '"':
+                # Raw string literal: R"delim( ... )delim"
+                k = text.find("(", j)
+                delim = text[j + 1 : k] if k != -1 else ""
+                close = ")" + delim + '"'
+                e = text.find(close, k + 1) if k != -1 else -1
+                e = n if e == -1 else e + len(close)
+                tokens.append(Token("str", text[i:e], line))
+                line += text.count("\n", i, e)
+                i = e
+                continue
+            if j < n and text[j] in "'\"" and word in {"u8", "u", "U", "L"}:
+                quote = text[j]
+                e = skip_string(j + 1, quote)
+                tokens.append(
+                    Token("str" if quote == '"' else "char", text[i:e], line)
+                )
+                i = e
+                continue
+            tokens.append(Token("id", word, line))
+            i = j
+            continue
+        if c in DIGITS or (c == "." and i + 1 < n and text[i + 1] in DIGITS):
+            j = i + 1
+            while j < n:
+                ch = text[j]
+                if ch in ID_CONT or ch in ".'":
+                    j += 1
+                elif ch in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                else:
+                    break
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        if c == '"':
+            e = skip_string(i + 1, '"')
+            tokens.append(Token("str", text[i:e], line))
+            i = e
+            continue
+        if c == "'":
+            e = skip_string(i + 1, "'")
+            tokens.append(Token("char", text[i:e], line))
+            i = e
+            continue
+        tokens.append(Token("punct", c, line))
+        i += 1
+
+    return tokens, comments
+
+
+def string_value(token: Token) -> str:
+    """Unquoted payload of a plain (non-raw) string token, best effort."""
+    v = token.value
+    start = v.find('"')
+    end = v.rfind('"')
+    if start == -1 or end <= start:
+        return v
+    return v[start + 1 : end]

@@ -1,0 +1,148 @@
+"""C-rules: contracts.
+
+PR 1 made every contract violation a typed, testable exception
+(mfbo::ContractViolation). These rules keep that surface complete: public
+numeric entry points validate their dimensional/pointer inputs up front,
+nothing reverts to vanishing `assert`, and no handler silently swallows.
+"""
+
+from __future__ import annotations
+
+from mfbo_lint.cppmodel import statement_prefix_end
+from mfbo_lint.engine import FileContext, Finding, Rule
+
+_CHECK_MACROS = {"MFBO_CHECK", "MFBO_DCHECK", "MFBO_CHECK_FINITE"}
+
+# Parameter types that make a function "numeric entry point" for C001.
+_SIZE_TYPES = {"size_t"}
+
+
+def _param_needs_validation(param) -> bool:
+    # Only top-level tokens count: a size_t buried in template arguments
+    # (e.g. std::function<double(std::size_t)>) is not a dimension input.
+    depth = 0
+    words: list[str] = []
+    has_star = False
+    for t in param.tokens:
+        if t.kind == "punct":
+            if t.value in "<(":
+                depth += 1
+            elif t.value in ">)":
+                depth = max(0, depth - 1)
+            elif t.value == "*" and depth == 0:
+                has_star = True
+        elif t.kind == "id" and depth == 0:
+            words.append(t.value)
+    if any(w in _SIZE_TYPES for w in words):
+        return True
+    # Raw pointer parameter (excluding `const char*` — typically a literal
+    # label/name, validated nowhere because there is nothing to check).
+    return has_star and "char" not in words
+
+
+def check_c001(ctx: FileContext):
+    """Public functions taking sizes/pointers must MFBO_CHECK* up front."""
+    if not ctx.config.allowed(ctx.relpath, ctx.config.contract_scope):
+        return
+    tokens = ctx.tokens
+    for fn in ctx.model.functions:
+        if fn.internal or fn.is_lambda or fn.name == "main":
+            continue
+        if not any(_param_needs_validation(p) for p in fn.params):
+            continue
+        lo, hi = fn.body_range
+        # Trivial delegators (one top-level statement) validate in the
+        # callee: `return impl(...);` forwards the contract intact.
+        if statement_prefix_end(tokens, fn.body_range, 1) >= hi:
+            continue
+        window_end = statement_prefix_end(
+            tokens, fn.body_range, ctx.config.contract_window
+        )
+        head = tokens[lo + 1 : window_end]
+        if any(t.kind == "id" and t.value in _CHECK_MACROS for t in head):
+            continue
+        yield Finding(
+            "C001",
+            ctx.relpath,
+            fn.line,
+            f"`{fn.qualified}` takes size/pointer parameters but opens "
+            f"without an MFBO_CHECK*/MFBO_DCHECK in its first "
+            f"{ctx.config.contract_window} statements",
+        )
+
+
+def check_c002(ctx: FileContext):
+    """Bare assert() vanishes under NDEBUG — use MFBO_DCHECK."""
+    tokens = ctx.tokens
+    for i, t in enumerate(tokens):
+        if t.kind != "id" or t.value != "assert":
+            continue
+        if (
+            i + 1 < len(tokens)
+            and tokens[i + 1].kind == "punct"
+            and tokens[i + 1].value == "("
+        ):
+            yield Finding(
+                "C002",
+                ctx.relpath,
+                t.line,
+                "bare assert() compiles out under NDEBUG; use MFBO_DCHECK "
+                "(hot paths) or MFBO_CHECK (entry points) so the contract "
+                "holds in every build type",
+            )
+
+
+def check_c003(ctx: FileContext):
+    """`catch (...)` must rethrow or capture, never swallow."""
+    tokens = ctx.tokens
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if t.kind != "id" or t.value != "catch":
+            continue
+        # Match `catch ( . . . )`
+        j = i + 1
+        if not (j < n and tokens[j].kind == "punct" and tokens[j].value == "("):
+            continue
+        dots = tokens[j + 1 : j + 4]
+        if len(dots) < 3 or any(
+            d.kind != "punct" or d.value != "." for d in dots
+        ):
+            continue
+        k = j + 4
+        if not (k < n and tokens[k].kind == "punct" and tokens[k].value == ")"):
+            continue
+        # Body: next `{` ... matching `}`.
+        b = k + 1
+        if not (b < n and tokens[b].kind == "punct" and tokens[b].value == "{"):
+            continue
+        depth = 0
+        body_ids: set[str] = set()
+        e = b
+        while e < n:
+            te = tokens[e]
+            if te.kind == "punct":
+                if te.value == "{":
+                    depth += 1
+                elif te.value == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+            elif te.kind == "id":
+                body_ids.add(te.value)
+            e += 1
+        if body_ids & {"throw", "current_exception", "rethrow_exception"}:
+            continue
+        yield Finding(
+            "C003",
+            ctx.relpath,
+            t.line,
+            "catch (...) swallows the exception: rethrow (`throw;`) or "
+            "capture via std::current_exception so failures stay observable",
+        )
+
+
+RULES = [
+    Rule("C001", "missing-entry-contract", check_c001),
+    Rule("C002", "bare-assert", check_c002),
+    Rule("C003", "catch-all-swallow", check_c003),
+]
