@@ -18,6 +18,13 @@
 //                gains a "spans" phase tree (timing-free under --no-timing)
 //   --trace FILE write a JSONL event trace (run_start/iteration/run_end)
 //                for tools/run_report.py; exits 2 on an unwritable path
+//   --timeline FILE
+//                record every span open/close as Chrome/Perfetto
+//                trace-event JSON (load in chrome://tracing or ui.perfetto.
+//                dev; validate with tools/trace_validate.py); exits 2 on an
+//                unwritable path. Does not enable the span profiler and
+//                never touches the --out artifact, so --no-timing artifact
+//                bytes are identical with and without a timeline.
 //   --help       print usage and exit
 #pragma once
 
@@ -35,9 +42,11 @@
 
 #include "bo/result.h"
 #include "common/json.h"
+#include "common/memstats.h"
 #include "common/parallel.h"
 #include "common/spans.h"
 #include "common/telemetry.h"
+#include "common/timeline.h"
 #include "linalg/stats.h"
 
 namespace mfbo::bench {
@@ -49,8 +58,9 @@ struct BenchConfig {
   std::size_t threads = 0;  // 0 = auto (MFBO_THREADS env / hardware)
   bool timing = true;       // false: deterministic artifacts (--no-timing)
   bool spans = false;       // true: span profiler on (--spans)
-  std::string out;    // artifact path; empty = no artifact
-  std::string trace;  // JSONL trace path; empty = no trace
+  std::string out;       // artifact path; empty = no artifact
+  std::string trace;     // JSONL trace path; empty = no trace
+  std::string timeline;  // Perfetto trace-event path; empty = no timeline
   // Keeps the installed trace sink alive for the whole bench run (the
   // registry borrows it); copied along with the config.
   std::shared_ptr<telemetry::TraceWriter> trace_writer;
@@ -69,15 +79,23 @@ inline void printUsage(std::FILE* stream, const char* prog) {
   std::fprintf(stream,
                "usage: %s [--quick|--full] [--runs N] [--seed S] "
                "[--threads N] [--no-timing] [--out FILE] [--spans] "
-               "[--trace FILE] [--help]\n"
-               "  --spans       enable the span profiler; --out artifacts "
+               "[--trace FILE] [--timeline FILE] [--help]\n"
+               "  --spans          enable the span profiler; --out artifacts "
                "gain a 'spans' phase tree\n"
-               "  --trace FILE  write a JSONL event trace consumable by "
-               "tools/run_report.py\n",
+               "  --trace FILE     write a JSONL event trace consumable by "
+               "tools/run_report.py\n"
+               "  --timeline FILE  write a Chrome/Perfetto trace-event "
+               "timeline of every span open/close\n",
                prog);
 }
 
 inline BenchConfig parseArgs(int argc, char** argv) {
+  // Flag parsing is harness machinery, not workload: --spans enables
+  // allocation attribution mid-parse, and without this pause every later
+  // path-valued flag (--out, --trace, --timeline) would leak its string
+  // copy into the root span's counters — making the deterministic
+  // artifact's alloc_bytes depend on the length of the output path.
+  const memstats::PauseScope alloc_pause;
   BenchConfig cfg;
   auto fail = [&](const char* why, const char* what) {
     std::fprintf(stderr, "%s: %s '%s'\n", argv[0], why, what);
@@ -136,6 +154,22 @@ inline BenchConfig parseArgs(int argc, char** argv) {
         fail("--trace path is not writable:", cfg.trace.c_str());
       }
       telemetry::setTraceSink(cfg.trace_writer.get());
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      if (i + 1 >= argc) fail("missing value for", argv[i]);
+      cfg.timeline = argv[++i];
+      if (cfg.timeline.empty()) fail("--timeline wants a file path, got", "");
+      if (timeline::recording())
+        fail("--timeline given more than once:", cfg.timeline.c_str());
+      try {
+        // Opens (and truncates) the file up front: an unwritable path must
+        // be a startup error, not a lost trace after minutes of synthesis.
+        timeline::start(cfg.timeline);
+      } catch (const std::runtime_error&) {
+        fail("--timeline path is not writable:", cfg.timeline.c_str());
+      }
+      // Benches return from main through several paths; atexit guarantees
+      // the buffered events are serialized exactly once on any of them.
+      std::atexit([] { timeline::stop(); });
     } else {
       fail("unknown argument", argv[i]);
     }

@@ -1,0 +1,123 @@
+#include "common/memstats.h"
+
+#include <cstdlib>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace mfbo {
+namespace memstats {
+namespace {
+
+// Both are constant-initialized PODs, so the hook is safe to run before any
+// dynamic initializer and during thread teardown. No destructor, no lock.
+thread_local ThreadCounters t_counters;
+thread_local unsigned t_pause_depth = 0;
+
+}  // namespace
+
+ThreadCounters threadCounters() { return t_counters; }
+
+bool paused() { return t_pause_depth != 0; }
+
+PauseScope::PauseScope() { ++t_pause_depth; }
+
+PauseScope::~PauseScope() { --t_pause_depth; }
+
+std::uint64_t peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes; Linux and the BSDs in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+#else
+  return 0;
+#endif
+}
+
+namespace detail {
+
+// mfbo-lint: allow(C001) — allocation hook: any size is legal, no checks
+void noteAlloc(std::size_t size) {
+  if (t_pause_depth != 0) return;
+  ++t_counters.alloc_count;
+  t_counters.alloc_bytes += static_cast<std::uint64_t>(size);
+}
+
+void noteFree() {
+  if (t_pause_depth != 0) return;
+  ++t_counters.free_count;
+}
+
+}  // namespace detail
+
+}  // namespace memstats
+}  // namespace mfbo
+
+// ---------------------------------------------------------------------------
+// Replaced global allocation functions. Linking mfbo_common makes these the
+// process-wide operator new/delete for every mfbo binary. They forward to
+// malloc/free (which ASan/TSan intercept as usual) and do nothing beyond the
+// thread-local accounting above — no locks, no allocation, no I/O.
+//
+// The aligned (C++17 std::align_val_t) overloads are deliberately not
+// replaced: the toolchain's defaults stay in place, and since nothing in
+// this codebase over-aligns heap types the counters lose nothing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void* countedAlloc(std::size_t size) {
+  // malloc(0) may return null; operator new must not.
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  mfbo::memstats::detail::noteAlloc(size);
+  return ptr;
+}
+
+void countedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  mfbo::memstats::detail::noteFree();
+  std::free(ptr);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return countedAlloc(size); }
+
+void* operator new[](std::size_t size) { return countedAlloc(size); }
+
+// mfbo-lint: allow(C001) — nothrow allocator: any size legal, must not throw
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr != nullptr) mfbo::memstats::detail::noteAlloc(size);
+  return ptr;
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr != nullptr) mfbo::memstats::detail::noteAlloc(size);
+  return ptr;
+}
+
+void operator delete(void* ptr) noexcept { countedFree(ptr); }
+
+void operator delete[](void* ptr) noexcept { countedFree(ptr); }
+
+void operator delete(void* ptr, std::size_t) noexcept { countedFree(ptr); }
+
+void operator delete[](void* ptr, std::size_t) noexcept { countedFree(ptr); }
+
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  countedFree(ptr);
+}
+
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  countedFree(ptr);
+}

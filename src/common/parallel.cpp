@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/memstats.h"
 #include "common/spans.h"
 
 namespace mfbo {
@@ -93,14 +94,19 @@ class Pool {
     // pool by taking turns rather than interleaving jobs.
     const std::lock_guard<std::mutex> region(region_mu_);
 
-    auto job = std::make_shared<Job>();
-    job->body = &body;
-    job->n = n;
-    job->grain = grain;
-    job->chunks_total = (n + grain - 1) / grain;
-    job->worker_cap = threads - 1;
-
+    std::shared_ptr<Job> job;
     {
+      // Pool bookkeeping (job allocation, lazy worker start) is machinery:
+      // it only exists at thread counts > 1, so it must stay invisible to
+      // the per-span allocation counters for 1-vs-N byte identity.
+      const memstats::PauseScope alloc_pause;
+      job = std::make_shared<Job>();
+      job->body = &body;
+      job->n = n;
+      job->grain = grain;
+      job->chunks_total = (n + grain - 1) / grain;
+      job->worker_cap = threads - 1;
+
       const std::lock_guard<std::mutex> lock(mu_);
       ensureWorkersLocked(job->worker_cap);
       job_ = job;
@@ -176,6 +182,8 @@ class Pool {
         spans::SpanNode* tree = spans::detail::endWorkerCapture(capture);
         bool complete = false;
         {
+          // The hand-off vector is pool machinery, not workload memory.
+          const memstats::PauseScope alloc_pause;
           const std::lock_guard<std::mutex> job_lock(job->mu);
           if (tree != nullptr) job->captured_spans.push_back(tree);
           job->chunks_done += executed;

@@ -7,6 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/memstats.h"
+#include "common/timeline.h"
+
 namespace mfbo {
 namespace spans {
 
@@ -50,21 +53,34 @@ struct SpanNode {
 
 namespace {
 
-std::atomic<bool> g_enabled{false};
+/// One flags word so the disabled fast path in ScopedSpan stays a single
+/// relaxed atomic load even with two independent features hanging off it.
+constexpr unsigned kProfile = 1u;   ///< aggregating profiler (setEnabled)
+constexpr unsigned kTimeline = 2u;  ///< timeline recording (timeline::start)
+
+std::atomic<unsigned> g_flags{0};
+
+unsigned activeFlags() { return g_flags.load(std::memory_order_relaxed); }
 
 /// Per-thread arena: an implicit root (never timed, never counted) plus
 /// the innermost-open-span cursor. Lazily allocated on first enabled use;
-/// owned by the thread and freed at thread exit.
+/// owned by the thread and freed at thread exit. alloc_mark is the
+/// memstats counter snapshot taken at the last span boundary; the delta
+/// against it is what flushAllocations() attributes to the innermost span.
 struct ThreadState {
   std::unique_ptr<SpanNode> owned_root;
   SpanNode* root = nullptr;
   SpanNode* current = nullptr;
+  memstats::ThreadCounters alloc_mark;
 
   SpanNode* ensureRoot() {
     if (root == nullptr) {
+      const memstats::PauseScope pause;
       owned_root = std::make_unique<SpanNode>("root", nullptr);
       root = owned_root.get();
       current = root;
+      // Allocations made before profiling started belong to nobody.
+      alloc_mark = memstats::threadCounters();
     }
     return root;
   }
@@ -73,6 +89,26 @@ struct ThreadState {
 ThreadState& threadState() {
   thread_local ThreadState state;
   return state;
+}
+
+/// Attribute the allocations since the last span boundary to the innermost
+/// open span (the thread root when none is open) and advance the mark.
+/// Called at every span open/close, at snapshot(), and when a worker hands
+/// back its capture arena — the same points where `current` changes, so
+/// every workload allocation lands on the span that was innermost while it
+/// happened. The counter bookkeeping itself runs paused, which is what
+/// keeps the attributed values identical at 1 and N threads.
+void flushAllocations(ThreadState& state) {
+  const memstats::ThreadCounters now = memstats::threadCounters();
+  const std::uint64_t delta_count =
+      now.alloc_count - state.alloc_mark.alloc_count;
+  const std::uint64_t delta_bytes =
+      now.alloc_bytes - state.alloc_mark.alloc_bytes;
+  state.alloc_mark = now;
+  if (delta_count == 0) return;
+  const memstats::PauseScope pause;
+  state.current->addCounter("alloc_count", delta_count);
+  state.current->addCounter("alloc_bytes", delta_bytes);
 }
 
 /// Merge @p src (and its subtree) into @p dst: counts and wall time add,
@@ -133,38 +169,72 @@ Json nodeToJson(const SpanNode& node, bool include_timing, bool is_root) {
 
 }  // namespace
 
-void setEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+void setEnabled(bool on) {
+  if (on) {
+    g_flags.fetch_or(kProfile, std::memory_order_relaxed);
+    // Create the calling thread's arena eagerly. If it were created lazily
+    // at the first span open, the mark resync in ensureRoot() would discard
+    // whatever the workload allocated between enabling and that first span
+    // — an amount that depends on which thread reaches a span first, which
+    // would break 1-vs-N-thread byte identity of the root counters.
+    threadState().ensureRoot();
+  } else {
+    g_flags.fetch_and(~kProfile, std::memory_order_relaxed);
+  }
+}
 
-bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+bool enabled() { return (activeFlags() & kProfile) != 0; }
 
 ScopedSpan::ScopedSpan(const char* name) {
-  if (!enabled()) return;
-  ThreadState& state = threadState();
-  state.ensureRoot();
-  node_ = state.current->child(name);
-  node_->count += 1;
-  state.current = node_;
-  start_ = std::chrono::steady_clock::now();
+  const unsigned flags = activeFlags();
+  if (flags == 0) return;
+  if ((flags & kProfile) != 0) {
+    ThreadState& state = threadState();
+    state.ensureRoot();
+    flushAllocations(state);
+    {
+      // Arena growth is profiler overhead, not workload memory.
+      const memstats::PauseScope pause;
+      node_ = state.current->child(name);
+    }
+    node_->count += 1;
+    state.current = node_;
+  }
+  if ((flags & kTimeline) != 0) {
+    timeline_name_ = name;
+    timeline::detail::recordBegin(name);
+  }
+  if (node_ != nullptr) start_ = std::chrono::steady_clock::now();
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (timeline_name_ != nullptr) timeline::detail::recordEnd(timeline_name_);
   if (node_ == nullptr) return;
   node_->total_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
                          std::chrono::steady_clock::now() - start_)
                          .count();
-  threadState().current = node_->parent;
+  ThreadState& state = threadState();
+  // This span was innermost since the last boundary: the allocation delta
+  // is its self-allocation. Flush before moving the cursor to the parent.
+  flushAllocations(state);
+  state.current = node_->parent;
 }
 
 void addCounter(const char* name, std::uint64_t n) {
   if (!enabled()) return;
   ThreadState& state = threadState();
   state.ensureRoot();
+  const memstats::PauseScope pause;
   state.current->addCounter(name, n);
 }
 
 Json snapshot(bool include_timing) {
   ThreadState& state = threadState();
   if (state.root == nullptr) return Json::object();
+  // Attribute the tail since the last span closed, then serialize with the
+  // accounting paused so snapshot cost never shows up as workload memory.
+  flushAllocations(state);
+  const memstats::PauseScope pause;
   return nodeToJson(*state.root, include_timing, /*is_root=*/true);
 }
 
@@ -173,6 +243,11 @@ void reset() {
   state.owned_root.reset();
   state.root = nullptr;
   state.current = nullptr;
+  state.alloc_mark = memstats::threadCounters();
+  // Keep the eager-arena invariant (see setEnabled) across mid-session
+  // resets: while profiling is on, this thread must never hit the lazy
+  // ensureRoot mark resync in the middle of workload code.
+  if (enabled()) state.ensureRoot();
 }
 
 namespace detail {
@@ -180,6 +255,7 @@ namespace detail {
 WorkerCapture beginWorkerCapture() {
   WorkerCapture capture;
   if (!enabled()) return capture;
+  const memstats::PauseScope pause;
   ThreadState& state = threadState();
   capture.saved_root = state.root;
   capture.saved_current = state.current;
@@ -189,16 +265,28 @@ WorkerCapture beginWorkerCapture() {
   state.owned_root.reset(capture.capture_root);
   state.root = capture.capture_root;
   state.current = capture.capture_root;
+  // Allocation attribution restarts at the job boundary: everything the
+  // bodies allocate lands in the capture tree, which the calling thread
+  // merges into its innermost span — exactly where the serial path would
+  // have attributed it.
+  state.alloc_mark = memstats::threadCounters();
   return capture;
 }
 
 SpanNode* endWorkerCapture(const WorkerCapture& capture) {
   if (capture.capture_root == nullptr) return nullptr;
   ThreadState& state = threadState();
+  // Attribute the job's tail (allocations after the last body span closed)
+  // to the capture root before handing the arena back.
+  flushAllocations(state);
+  const memstats::PauseScope pause;
   state.owned_root.release();
   state.owned_root.reset(capture.saved_root);
   state.root = capture.saved_root;
   state.current = capture.saved_current;
+  // Whatever this worker allocates next (pool bookkeeping, the next job's
+  // glue) belongs to no captured arena.
+  state.alloc_mark = memstats::threadCounters();
   // An empty capture (the worker claimed no chunks, or the bodies opened no
   // spans) is dropped here instead of travelling through the merge.
   if (capture.capture_root->children.empty() &&
@@ -214,6 +302,7 @@ void mergeCapturedTree(SpanNode* tree) {
   if (tree == nullptr) return;
   const std::unique_ptr<SpanNode> owned(tree);
   if (!enabled()) return;
+  const memstats::PauseScope pause;
   ThreadState& state = threadState();
   state.ensureRoot();
   SpanNode& target = *state.current;
@@ -221,6 +310,14 @@ void mergeCapturedTree(SpanNode* tree) {
     target.addCounter(counter.first, counter.second);
   for (const auto& child : tree->children)
     mergeInto(*target.child(child->name), *child);
+}
+
+void setTimelineRecording(bool on) {
+  if (on) {
+    g_flags.fetch_or(kTimeline, std::memory_order_relaxed);
+  } else {
+    g_flags.fetch_and(~kTimeline, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace detail

@@ -3,10 +3,9 @@
 // The paper's headline claim is wall-clock efficiency: cheap low-fidelity
 // simulations plus the eq. (11)/(12) fidelity criterion shift cost away
 // from expensive evaluations. Flat counters and timers (common/telemetry.h)
-// cannot answer *where* an iteration's time actually goes — GP refit, the
-// NARGP eq. (10) Monte-Carlo integration, the MSP acquisition search, or
-// the simulator — because they have no notion of nesting. This header adds
-// the missing structure:
+// cannot answer *where* an iteration's time goes — GP refit, the NARGP
+// eq. (10) MC integration, the MSP acquisition search, or the simulator —
+// because they have no notion of nesting. This header adds the structure:
 //
 //   * ScopedSpan — RAII frame on a thread-local span stack. Spans with the
 //     same name under the same parent aggregate into one node (call count,
@@ -17,8 +16,16 @@
 //     invocation, a Cholesky jitter retry) to the innermost open span, so
 //     "how many sims did acq_high trigger" falls out of the tree.
 //   * Off-by-default behind a single branch — when disabled (the default),
-//     ScopedSpan's constructor is one relaxed atomic load and no
-//     allocation, so instrumented hot paths cost nothing in production.
+//     ScopedSpan's constructor is one relaxed atomic load, no allocation.
+//   * Memory attribution — every span boundary snapshots the thread-local
+//     allocation counters of common/memstats.h and attributes the delta
+//     to the innermost span as `alloc_count`/`alloc_bytes`. The profiler's
+//     own allocations run under memstats::PauseScope, so the values are
+//     workload-only, deterministic, and merge like user counters.
+//   * Timeline dispatch — ScopedSpan also serves the opt-in timeline
+//     recorder (common/timeline.h): while a recording is active each span
+//     open/close emits a begin/end trace event. Both features share one
+//     flags word, so the disabled fast path is still a single relaxed load.
 //   * Deterministic under the parallel pool — bodies running on pool
 //     workers record into per-thread arenas that common/parallel.h merges
 //     into the *calling thread's* innermost span at region end (the
@@ -28,8 +35,8 @@
 //
 // Contract: enable/disable only while no span is open on any thread (in
 // practice: before the run, from the bench/test harness). Span names must
-// be string literals (or otherwise outlive the process) — nodes store the
-// pointer, not a copy.
+// be string literals or otherwise outlive the process — nodes store the
+// pointer.
 #pragma once
 
 #include <chrono>
@@ -43,16 +50,23 @@ namespace spans {
 struct SpanNode;  // opaque; defined in spans.cpp
 
 /// Turn the profiler on or off (off by default). Toggle only while no span
-/// is open.
+/// is open. Enabling eagerly creates the calling thread's arena and starts
+/// its allocation attribution mark, so everything this thread allocates from
+/// here on is attributed (to the root when no span is open) — deterministic
+/// regardless of which thread later opens the first span.
 void setEnabled(bool on);
 
-/// Single relaxed atomic load; instrumentation sites pay one branch when
-/// the profiler is off.
+/// True when the aggregating profiler is on. Instrumentation sites pay one
+/// relaxed atomic load (shared with the timeline flag) when everything is
+/// off.
 bool enabled();
 
 /// RAII span frame: opens a child of the calling thread's innermost span on
-/// construction, closes it (accumulating wall time) on destruction. When
-/// the profiler is disabled at construction time the object is inert.
+/// construction, closes it (accumulating wall time and the allocation delta
+/// since the previous span boundary) on destruction. While a timeline
+/// recording is active (common/timeline.h) it also emits begin/end trace
+/// events. When both features are disabled at construction time the object
+/// is inert.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
@@ -62,6 +76,7 @@ class ScopedSpan {
 
  private:
   SpanNode* node_ = nullptr;
+  const char* timeline_name_ = nullptr;
   std::chrono::steady_clock::time_point start_{};
 };
 
@@ -72,11 +87,14 @@ void addCounter(const char* name, std::uint64_t n = 1);
 /// Serialize the calling thread's span tree:
 /// {"counters":{...},"children":{name:{"count":..,"total_s":..,"self_s":..,
 /// "counters":{...},"children":{...}}}} with children and counters sorted
-/// by name and empty sections omitted. With include_timing=false the
-/// total_s/self_s fields are dropped, leaving only the deterministic
-/// count/counter fields (the bench --no-timing artifacts rely on this).
-/// self_s is clamped at zero: children that ran on pool workers accumulate
-/// CPU time that can exceed the parent's wall time.
+/// by name and empty sections omitted. Every node that allocated carries
+/// the memory-attribution counters `alloc_count`/`alloc_bytes` (self, not
+/// subtree: deltas are attributed to the innermost span). With
+/// include_timing=false the total_s/self_s fields are dropped, leaving only
+/// the deterministic count/counter fields — including the alloc counters —
+/// that the bench --no-timing artifacts compare byte-exactly. self_s is
+/// clamped at zero: children that ran on pool workers accumulate CPU time
+/// that can exceed the parent's wall time.
 Json snapshot(bool include_timing = true);
 
 /// Discard the calling thread's span tree (keeps the enabled flag). Call
@@ -103,6 +121,10 @@ SpanNode* endWorkerCapture(const WorkerCapture& capture);
 /// Merge a captured tree into the calling thread's innermost span, then
 /// free it. Accepts null.
 void mergeCapturedTree(SpanNode* tree);
+
+/// Flip the timeline-dispatch bit in the shared flags word. Called only by
+/// timeline::start()/stop() (common/timeline.cpp), never directly.
+void setTimelineRecording(bool on);
 
 }  // namespace detail
 

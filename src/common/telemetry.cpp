@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/memstats.h"
 #include "common/spans.h"
 
 namespace mfbo {
@@ -23,6 +24,10 @@ template <typename Metric>
 class Registry {
  public:
   Metric& get(std::string_view name) {
+    // First-use metric creation is telemetry overhead; keep it out of the
+    // per-span memory attribution (common/memstats.h) so a counter's first
+    // bump costs the same "workload memory" as every later one: none.
+    const memstats::PauseScope alloc_pause;
     const std::lock_guard<std::mutex> lock(mu_);
     auto it = metrics_.find(name);
     if (it == metrics_.end()) {
@@ -73,6 +78,10 @@ std::atomic<TraceSink*>& sinkSlot() {
 }  // namespace
 
 void Timer::record(double seconds) {
+  // Reservoir growth is observability overhead; which thread happens to
+  // trigger it is scheduling-dependent, so it must stay invisible to the
+  // deterministic per-span allocation counters.
+  const memstats::PauseScope alloc_pause;
   const std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0 || seconds < min_) min_ = seconds;
   if (seconds > max_) max_ = seconds;
@@ -143,6 +152,8 @@ Gauge& gauge(std::string_view name) { return gauges().get(name); }
 Timer& timer(std::string_view name) { return timers().get(name); }
 
 Json metricsSnapshot(bool include_timers) {
+  // Snapshot construction allocates heavily; none of it is workload memory.
+  const memstats::PauseScope alloc_pause;
   Json snapshot = Json::object();
   Json counter_obj = Json::object();
   counters().forEach([&](const std::string& name, const Counter& c) {
@@ -167,6 +178,11 @@ Json metricsSnapshot(bool include_timers) {
       timer_obj.set(name, std::move(entry));
     });
     snapshot.set("timers", std::move(timer_obj));
+    // The kernel's high-water mark, like the timers, is real-machine state:
+    // meaningful for a human, nondeterministic by nature, and therefore
+    // only present when the wall-clock sections are.
+    snapshot.set("peak_rss_bytes",
+                 Json::number(static_cast<double>(memstats::peakRssBytes())));
   }
   if (spans::enabled())
     snapshot.set("spans", spans::snapshot(/*include_timing=*/include_timers));

@@ -121,14 +121,16 @@ Timer& timer(std::string_view name);
 
 /// Serialize every registered metric, sorted by name:
 /// {"counters":{...},"gauges":{...},
-///  "timers":{name:{count,total_s,min_s,p50_s,p95_s,max_s}}}.
+///  "timers":{name:{count,total_s,min_s,p50_s,p95_s,max_s}},
+///  "peak_rss_bytes":...}.
 /// When the span profiler is enabled (common/spans.h) the calling thread's
 /// span tree is appended under a "spans" key. With include_timers=false the
-/// wall-clock "timers" section is omitted and the span tree drops its
-/// total_s/self_s fields — counters, gauges, and span counts are
-/// deterministic for a fixed seed at any thread count, so the remaining
-/// snapshot is byte-reproducible (the bench --no-timing artifacts rely on
-/// this).
+/// wall-clock "timers" section and the nondeterministic process peak-RSS
+/// sample (common/memstats.h) are omitted and the span tree drops its
+/// total_s/self_s fields — counters, gauges, span counts, and the per-span
+/// allocation counters are deterministic for a fixed seed at any thread
+/// count, so the remaining snapshot is byte-reproducible (the bench
+/// --no-timing artifacts rely on this).
 Json metricsSnapshot(bool include_timers = true);
 
 /// Zero every registered metric (references stay valid).

@@ -1,0 +1,11 @@
+// Fixture: O003 fires — this file is registered with an `emitHook`
+// observability coupling (see the test's Config) but never mentions it,
+// i.e. the hook call site was deleted.
+namespace demo {
+
+void closeFrame(int depth) {
+  // The registered emitHook(depth) dispatch is gone.
+  (void)depth;
+}
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+// Clean by allowlist: this file reads the wall clock exactly like the
+// real timeline recorder (src/common/timeline.cpp), and the test's Config
+// lists it in clock_allowed — the D002 path exemption for audited
+// recorders must keep it silent.
+#include <chrono>
+
+namespace demo {
+
+long long recorderStamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace demo

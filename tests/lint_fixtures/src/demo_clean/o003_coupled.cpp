@@ -1,0 +1,8 @@
+// Clean twin of o003: the registered `emitHook` coupling is present.
+namespace demo {
+
+void emitHook(int depth);
+
+void closeFrame(int depth) { emitHook(depth); }
+
+}  // namespace demo

@@ -11,6 +11,7 @@
 #include "bench_common.h"
 #include "bo/result.h"
 #include "common/json.h"
+#include "common/timeline.h"
 
 namespace {
 
@@ -236,6 +237,35 @@ TEST(ParseArgsDeath, RejectsUnwritableTracePath) {
 TEST(ParseArgsDeath, RejectsMissingTraceValue) {
   EXPECT_EXIT(parse({"--trace"}), ::testing::ExitedWithCode(2),
               "missing value");
+}
+
+TEST(ParseArgs, TimelineFlagStartsRecordingWithoutEnablingSpans) {
+  const std::string path = "test_bench_timeline.json";
+  const bench::BenchConfig cfg = parse({"--timeline", path});
+  EXPECT_EQ(cfg.timeline, path);
+  EXPECT_TRUE(timeline::recording());
+  // The timeline is strictly outside the deterministic artifact path: the
+  // flag must not flip the span profiler on.
+  EXPECT_FALSE(spans::enabled());
+  timeline::stop();
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());  // the file was created (and truncated) up front
+  std::remove(path.c_str());
+}
+
+TEST(ParseArgsDeath, RejectsUnwritableTimelinePath) {
+  EXPECT_EXIT(parse({"--timeline", "no_such_dir/timeline.json"}),
+              ::testing::ExitedWithCode(2), "not writable");
+}
+
+TEST(ParseArgsDeath, RejectsMissingTimelineValue) {
+  EXPECT_EXIT(parse({"--timeline"}), ::testing::ExitedWithCode(2),
+              "missing value");
+}
+
+TEST(ParseArgsDeath, RejectsDuplicateTimelineFlag) {
+  EXPECT_EXIT(parse({"--timeline", "a.json", "--timeline", "b.json"}),
+              ::testing::ExitedWithCode(2), "more than once");
 }
 
 // --- AlgoStats & artifacts ----------------------------------------------

@@ -16,7 +16,9 @@
 #include "bench_common.h"
 #include "bo/mfbo.h"
 #include "common/parallel.h"
+#include "common/spans.h"
 #include "common/telemetry.h"
+#include "common/timeline.h"
 #include "gp/gp_regressor.h"
 #include "linalg/rng.h"
 #include "mf/nargp.h"
@@ -248,6 +250,48 @@ TEST(BenchDeterminism, NoTimingArtifactBytesMatchAcrossThreadCounts) {
   EXPECT_EQ(serial, pooled) << "--no-timing artifact bytes diverged";
   // Wall times must be zeroed, and the timers section absent.
   EXPECT_EQ(serial.find("timers"), std::string::npos);
+}
+
+/// benchArtifactBytes with the span profiler on — the `--spans --no-timing`
+/// artifact, now carrying per-span alloc_count/alloc_bytes counters.
+std::string spanArtifactBytes(const std::string& path) {
+  spans::reset();
+  spans::setEnabled(true);
+  const std::string bytes = benchArtifactBytes(path);
+  spans::setEnabled(false);
+  spans::reset();
+  return bytes;
+}
+
+TEST(BenchDeterminism, SpanAllocCountersMatchAcrossThreadCounts) {
+  const std::string serial = withThreads(
+      1, [] { return spanArtifactBytes("det_spans_t1.json"); });
+  const std::string pooled = withThreads(
+      4, [] { return spanArtifactBytes("det_spans_t4.json"); });
+  EXPECT_EQ(serial, pooled)
+      << "--spans --no-timing artifact bytes diverged across thread counts";
+  // The artifact actually carried the memory-attribution counters (and the
+  // nondeterministic RSS sample stayed out).
+  EXPECT_NE(serial.find("\"alloc_count\""), std::string::npos);
+  EXPECT_NE(serial.find("\"alloc_bytes\""), std::string::npos);
+  EXPECT_EQ(serial.find("peak_rss_bytes"), std::string::npos);
+}
+
+TEST(BenchDeterminism, TimelineRecordingLeavesArtifactBytesUntouched) {
+  // --timeline is strictly outside the deterministic artifact path: the
+  // same run with a timeline recording alongside must produce identical
+  // --spans --no-timing artifact bytes.
+  const std::string plain = withThreads(
+      4, [] { return spanArtifactBytes("det_tl_off.json"); });
+  const std::string with_timeline = withThreads(4, [] {
+    timeline::start("det_timeline_scratch.json");
+    const std::string bytes = spanArtifactBytes("det_tl_on.json");
+    timeline::stop();
+    std::remove("det_timeline_scratch.json");
+    return bytes;
+  });
+  EXPECT_EQ(plain, with_timeline)
+      << "recording a timeline perturbed the deterministic artifact";
 }
 
 TEST(BenchDeterminism, RunRepeatsMatchesSequentialAddLoop) {

@@ -1,0 +1,217 @@
+// Tests for per-thread allocation accounting (common/memstats.h): the
+// operator new/delete hook, PauseScope suppression, per-span attribution of
+// allocation deltas, 1-vs-4-thread byte identity of the attributed
+// counters, and the peak-RSS sampler.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/memstats.h"
+#include "common/parallel.h"
+#include "common/spans.h"
+
+namespace {
+
+using namespace mfbo;
+
+std::uint64_t allocCount() { return memstats::threadCounters().alloc_count; }
+
+// --- the hook ------------------------------------------------------------
+
+TEST(Memstats, HookCountsAllocationsAndBytes) {
+  const memstats::ThreadCounters before = memstats::threadCounters();
+  auto block = std::make_unique<char[]>(1024);
+  const memstats::ThreadCounters after = memstats::threadCounters();
+  EXPECT_GE(after.alloc_count, before.alloc_count + 1);
+  EXPECT_GE(after.alloc_bytes, before.alloc_bytes + 1024);
+  block.reset();
+  EXPECT_GE(memstats::threadCounters().free_count, before.free_count + 1);
+}
+
+TEST(Memstats, CountersAreMonotonic) {
+  const std::uint64_t before = allocCount();
+  for (int i = 0; i < 16; ++i) {
+    std::vector<int> v(100);
+    v[0] = i;
+  }
+  EXPECT_GE(allocCount(), before + 16);
+}
+
+TEST(Memstats, PauseScopeSuppressesAccounting) {
+  const memstats::ThreadCounters before = memstats::threadCounters();
+  {
+    const memstats::PauseScope pause;
+    EXPECT_TRUE(memstats::paused());
+    auto hidden = std::make_unique<char[]>(4096);
+    {
+      const memstats::PauseScope nested;  // nesting must be safe
+      auto also_hidden = std::make_unique<char[]>(4096);
+    }
+  }
+  EXPECT_FALSE(memstats::paused());
+  const memstats::ThreadCounters after = memstats::threadCounters();
+  EXPECT_EQ(after.alloc_count, before.alloc_count);
+  EXPECT_EQ(after.alloc_bytes, before.alloc_bytes);
+}
+
+TEST(Memstats, PeakRssIsPositiveOnSupportedPlatforms) {
+  // A live process has resident pages; the sampler only returns 0 where
+  // getrusage is unavailable, which the CI platforms are not.
+  EXPECT_GT(memstats::peakRssBytes(), 0u);
+}
+
+// --- per-span attribution ------------------------------------------------
+
+/// Enables the profiler for one test and restores a clean disabled state.
+class MemstatsSpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spans::reset();
+    spans::setEnabled(true);
+  }
+  void TearDown() override {
+    spans::setEnabled(false);
+    spans::reset();
+  }
+};
+
+/// Allocate (and free) @p bytes so the span accounting sees exactly one
+/// workload allocation of a known size. Calls the allocation function
+/// directly: a plain new-expression paired with its delete may legally be
+/// elided by the optimizer, which would make the expected counts flaky.
+void allocateExactly(std::size_t bytes) {
+  void* block = ::operator new(bytes);
+  static_cast<char*>(block)[0] = 1;
+  ::operator delete(block);
+}
+
+TEST_F(MemstatsSpanTest, AllocationsAttributeToInnermostSpan) {
+  {
+    const spans::ScopedSpan outer("outer");
+    allocateExactly(1000);
+    {
+      const spans::ScopedSpan inner("inner");
+      allocateExactly(3000);
+    }
+  }
+  const Json snap = spans::snapshot(/*include_timing=*/false);
+  const Json& outer = snap.at("children").at("outer");
+  EXPECT_EQ(outer.at("counters").at("alloc_count").asNumber(), 1.0);
+  EXPECT_EQ(outer.at("counters").at("alloc_bytes").asNumber(), 1000.0);
+  const Json& inner = outer.at("children").at("inner");
+  EXPECT_EQ(inner.at("counters").at("alloc_count").asNumber(), 1.0);
+  EXPECT_EQ(inner.at("counters").at("alloc_bytes").asNumber(), 3000.0);
+}
+
+TEST_F(MemstatsSpanTest, RepeatedSpansAccumulateAllocCounters) {
+  for (int i = 0; i < 5; ++i) {
+    const spans::ScopedSpan phase("phase");
+    allocateExactly(100);
+  }
+  const Json snap = spans::snapshot(false);
+  const Json& phase = snap.at("children").at("phase");
+  EXPECT_EQ(phase.at("count").asNumber(), 5.0);
+  EXPECT_EQ(phase.at("counters").at("alloc_count").asNumber(), 5.0);
+  EXPECT_EQ(phase.at("counters").at("alloc_bytes").asNumber(), 500.0);
+}
+
+TEST_F(MemstatsSpanTest, TailAfterChildCloseBelongsToParent) {
+  {
+    const spans::ScopedSpan outer("outer");
+    { const spans::ScopedSpan inner("inner"); }
+    // After the child closed, outer is innermost again.
+    allocateExactly(2000);
+  }
+  const Json snap = spans::snapshot(false);
+  const Json& outer = snap.at("children").at("outer");
+  EXPECT_EQ(outer.at("counters").at("alloc_bytes").asNumber(), 2000.0);
+  EXPECT_FALSE(outer.at("children").at("inner").contains("counters"));
+}
+
+TEST_F(MemstatsSpanTest, ProfilerOwnArenaIsInvisible) {
+  // A span that allocates nothing itself must show no alloc counters, even
+  // though opening it grew the profiler's arena.
+  { const spans::ScopedSpan empty("empty"); }
+  const Json snap = spans::snapshot(false);
+  EXPECT_FALSE(snap.at("children").at("empty").contains("counters"));
+}
+
+TEST_F(MemstatsSpanTest, SnapshotFlushesPendingRootAllocations) {
+  // Root counters also absorb harness allocations made since enabling, so
+  // assert on the delta between two snapshots instead of an absolute value.
+  const auto root_bytes = [](const Json& snap) {
+    return snap.contains("counters")
+               ? snap.at("counters").at("alloc_bytes").asNumber()
+               : 0.0;
+  };
+  { const spans::ScopedSpan phase("phase"); }
+  const double before = root_bytes(spans::snapshot(false));
+  allocateExactly(512);  // no span open: pending until the next boundary
+  const double after = root_bytes(spans::snapshot(false));
+  EXPECT_EQ(after - before, 512.0);
+}
+
+// --- thread-count independence -------------------------------------------
+
+Json allocTreeAtThreads(std::size_t threads) {
+  parallel::setMaxThreads(threads);
+  spans::reset();
+  spans::setEnabled(true);
+  {
+    const spans::ScopedSpan region("region");
+    parallel::parallelFor(32, [](std::size_t i) {
+      const spans::ScopedSpan body("body");
+      allocateExactly(64 + i);  // per-item workload allocation
+      if (i % 2 == 0) {
+        const spans::ScopedSpan nested("even_half");
+        allocateExactly(32);
+      }
+    });
+  }
+  Json snap = spans::snapshot(/*include_timing=*/false);
+  spans::setEnabled(false);
+  spans::reset();
+  parallel::setMaxThreads(0);
+  return snap;
+}
+
+TEST(MemstatsParallel, WorkerAllocationsMergeIntoTheCallPath) {
+  const Json snap = allocTreeAtThreads(4);
+  const Json& body =
+      snap.at("children").at("region").at("children").at("body");
+  EXPECT_EQ(body.at("counters").at("alloc_count").asNumber(), 32.0);
+  // sum over i in [0,32) of (64 + i) = 32*64 + 496
+  EXPECT_EQ(body.at("counters").at("alloc_bytes").asNumber(), 2544.0);
+  const Json& nested = body.at("children").at("even_half");
+  EXPECT_EQ(nested.at("counters").at("alloc_count").asNumber(), 16.0);
+  EXPECT_EQ(nested.at("counters").at("alloc_bytes").asNumber(), 512.0);
+}
+
+TEST(MemstatsParallel, OneVsFourThreadsByteIdentical) {
+  const std::string serial = allocTreeAtThreads(1).dump();
+  const std::string parallel4 = allocTreeAtThreads(4).dump();
+  EXPECT_EQ(serial, parallel4);
+  EXPECT_NE(serial.find("alloc_bytes"), std::string::npos) << serial;
+}
+
+// --- disabled path -------------------------------------------------------
+
+TEST(MemstatsDisabled, NoSpanProfilerMeansNoAttributionCost) {
+  spans::setEnabled(false);
+  spans::reset();
+  const std::uint64_t before = allocCount();
+  {
+    const spans::ScopedSpan s("ignored");
+  }
+  // Only the explicit workload allocation below may count.
+  EXPECT_EQ(allocCount(), before);
+  allocateExactly(1);
+  EXPECT_EQ(allocCount(), before + 1);
+}
+
+}  // namespace

@@ -18,7 +18,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURE_ROOT = REPO_ROOT / "tests" / "lint_fixtures"
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
-from mfbo_lint.config import Config, HotPath  # noqa: E402
+from mfbo_lint.config import Config, Coupling, HotPath  # noqa: E402
 from mfbo_lint.engine import LintEngine, list_rules  # noqa: E402
 
 # Every rule with a firing fixture, and where it must fire.
@@ -33,19 +33,35 @@ EXPECTED = {
     ("C003", "src/demo/c003_catch.cpp"),
     ("O001", "src/demo/o001_nospan.cpp"),
     ("O002", "src/demo/o002_unlisted.cpp"),
+    ("O003", "src/demo/o003_uncoupled.cpp"),
     ("S001", "src/demo/s001_stale.cpp"),
     ("S002", "src/demo/s002_malformed.cpp"),
 }
 
 
 def fixture_config() -> Config:
-    """The fixture root registers its own hot paths: one file that misses
-    its span (O001 must fire) and one clean twin that opens it."""
+    """The fixture root registers its own hot paths (one file that misses
+    its span, one clean twin that opens it), its own observability
+    couplings (one deleted hook site, one intact), and a clock allowlist
+    entry so the D002 recorder exemption is exercised."""
     return Config(
         hot_paths=(
             HotPath("src/demo/o001_nospan.cpp", "demo_phase"),
             HotPath("src/demo_clean/o001_span.cpp", "demo_phase"),
-        )
+        ),
+        couplings=(
+            Coupling(
+                "src/demo/o003_uncoupled.cpp",
+                "emitHook",
+                "frame close must dispatch the emit hook",
+            ),
+            Coupling(
+                "src/demo_clean/o003_coupled.cpp",
+                "emitHook",
+                "frame close must dispatch the emit hook",
+            ),
+        ),
+        clock_allowed=("src/demo_clean/d002_exempt_recorder.cpp",),
     )
 
 

@@ -5,45 +5,15 @@
 // tools/run_report.py and the docs consume.
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-#include <new>
 #include <set>
 #include <string>
 
 #include "bo/mfbo.h"
+#include "common/memstats.h"
 #include "common/parallel.h"
 #include "common/spans.h"
 #include "common/telemetry.h"
 #include "problems/synthetic.h"
-
-// Per-thread allocation counter fed by the replaced global operator new.
-// thread_local so pool workers (if any are alive) cannot perturb the
-// zero-allocation assertion on the test thread.
-namespace {
-thread_local std::size_t t_allocations = 0;
-}  // namespace
-
-void* operator new(std::size_t size) {
-  ++t_allocations;
-  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) {
-  ++t_allocations;
-  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-// All four deletes pair with the malloc-backed news above; silence GCC's
-// heuristic new/free mismatch diagnostic for these definitions.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-#pragma GCC diagnostic pop
 
 namespace {
 
@@ -194,12 +164,14 @@ TEST(SpanDisabled, SnapshotIsEmptyAndSpansAreInert) {
 TEST(SpanDisabled, ScopedSpanAllocatesNothing) {
   spans::setEnabled(false);
   spans::reset();
-  const std::size_t before = t_allocations;
+  // The process-wide operator new hook (common/memstats.h) counts this
+  // thread's allocations; a disabled span must contribute zero.
+  const std::uint64_t before = memstats::threadCounters().alloc_count;
   for (int i = 0; i < 1000; ++i) {
     const spans::ScopedSpan s("hot_path");
     spans::addCounter("events");
   }
-  EXPECT_EQ(t_allocations, before);
+  EXPECT_EQ(memstats::threadCounters().alloc_count, before);
 }
 
 // --- parallel merge -----------------------------------------------------
@@ -353,6 +325,12 @@ TEST(SpanGoldenSchema, MetricsSnapshotAndTraceKeysDoNotDrift) {
     EXPECT_TRUE(snapshot.contains("counters"));
     EXPECT_TRUE(snapshot.contains("gauges"));
     EXPECT_EQ(snapshot.contains("timers"), timing);
+    // Peak RSS is machine state: present only with the wall-clock fields,
+    // never in the deterministic --no-timing artifact keys.
+    EXPECT_EQ(snapshot.contains("peak_rss_bytes"), timing);
+    if (timing) {
+      EXPECT_GT(snapshot.at("peak_rss_bytes").asNumber(), 0.0);
+    }
     ASSERT_TRUE(snapshot.contains("spans"));
     const Json& tree = snapshot.at("spans");
     ASSERT_TRUE(tree.contains("children"));
@@ -377,6 +355,12 @@ TEST(SpanGoldenSchema, MetricsSnapshotAndTraceKeysDoNotDrift) {
        {"acq_low", "acq_high", "fidelity_decision", "fit_low", "fit_high",
         "simulate_low", "simulate_high"})
     EXPECT_TRUE(phases.count(phase)) << "mfbo lost phase: " << phase;
+
+  // Memory attribution (common/memstats.h): a synthesis run allocates, so
+  // the tree must carry the alloc counters somewhere below "mfbo".
+  const std::string tree_text = mfbo_node.dump();
+  EXPECT_NE(tree_text.find("\"alloc_count\""), std::string::npos) << tree_text;
+  EXPECT_NE(tree_text.find("\"alloc_bytes\""), std::string::npos) << tree_text;
 
   spans::setEnabled(false);
   spans::reset();

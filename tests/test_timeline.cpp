@@ -1,0 +1,209 @@
+// Tests for the timeline event recorder (common/timeline.h): golden
+// trace-event JSON for a nested-span run (schema, B/E balance, monotonic
+// timestamps), independence from the span profiler and its deterministic
+// artifacts, and the disabled-path guarantees.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/memstats.h"
+#include "common/spans.h"
+#include "common/timeline.h"
+
+namespace {
+
+using namespace mfbo;
+
+std::string tempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return text;
+}
+
+void runNestedSpans() {
+  const spans::ScopedSpan outer("outer");
+  {
+    const spans::ScopedSpan inner("inner_a");
+    const spans::ScopedSpan deep("deep");
+  }
+  { const spans::ScopedSpan inner("inner_b"); }
+}
+
+// --- golden trace-event schema -------------------------------------------
+
+TEST(Timeline, NestedSpanRunProducesValidTraceEventJson) {
+  const std::string path = tempPath("timeline_golden.json");
+  timeline::start(path);
+  EXPECT_TRUE(timeline::recording());
+  runNestedSpans();
+  EXPECT_EQ(timeline::eventCount(), 8u);  // 4 spans x (B + E)
+  timeline::stop();
+  EXPECT_FALSE(timeline::recording());
+
+  const Json doc = Json::parse(slurp(path));
+  ASSERT_TRUE(doc.isObject());
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  const Json& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.isArray());
+
+  // Walk every event: required keys, valid phases, per-tid stack balance,
+  // non-decreasing timestamps — the same checks tools/trace_validate.py
+  // applies to bench-produced traces in CI.
+  std::map<double, std::vector<std::string>> stacks;
+  std::map<double, double> last_ts;
+  std::size_t span_events = 0;
+  bool saw_process_name = false;
+  for (const Json& event : events.items()) {
+    ASSERT_TRUE(event.isObject());
+    ASSERT_TRUE(event.contains("name"));
+    ASSERT_TRUE(event.contains("ph"));
+    ASSERT_TRUE(event.contains("pid"));
+    ASSERT_TRUE(event.contains("tid"));
+    const std::string ph = event.at("ph").asString();
+    EXPECT_EQ(event.at("pid").asNumber(), 1.0);
+    if (ph == "M") {
+      saw_process_name =
+          saw_process_name || event.at("name").asString() == "process_name";
+      continue;
+    }
+    ASSERT_TRUE(ph == "B" || ph == "E") << ph;
+    ++span_events;
+    ASSERT_TRUE(event.contains("ts"));
+    ASSERT_TRUE(event.contains("cat"));
+    const double tid = event.at("tid").asNumber();
+    const double ts = event.at("ts").asNumber();
+    EXPECT_GE(ts, 0.0);
+    if (last_ts.count(tid)) {
+      EXPECT_GE(ts, last_ts[tid]);
+    }
+    last_ts[tid] = ts;
+    if (ph == "B") {
+      stacks[tid].push_back(event.at("name").asString());
+    } else {
+      ASSERT_FALSE(stacks[tid].empty()) << "E without matching B";
+      EXPECT_EQ(stacks[tid].back(), event.at("name").asString());
+      stacks[tid].pop_back();
+    }
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_EQ(span_events, 8u);
+  for (const auto& entry : stacks)
+    EXPECT_TRUE(entry.second.empty()) << "unbalanced B on tid";
+
+  // The recorded span names, in begin order on the single test thread.
+  std::vector<std::string> begins;
+  for (const Json& event : events.items())
+    if (event.at("ph").asString() == "B")
+      begins.push_back(event.at("name").asString());
+  const std::vector<std::string> expected{"outer", "inner_a", "deep",
+                                          "inner_b"};
+  EXPECT_EQ(begins, expected);
+  std::remove(path.c_str());
+}
+
+// --- independence from the deterministic artifact path -------------------
+
+TEST(Timeline, RecordingDoesNotEnableTheSpanProfiler) {
+  spans::setEnabled(false);
+  spans::reset();
+  const std::string path = tempPath("timeline_no_spans.json");
+  timeline::start(path);
+  runNestedSpans();
+  EXPECT_EQ(timeline::eventCount(), 8u);  // events flow without the profiler
+  timeline::stop();
+  // ... but the aggregating span tree stayed empty.
+  EXPECT_EQ(spans::snapshot(false).dump(), "{}");
+  EXPECT_FALSE(spans::enabled());
+  std::remove(path.c_str());
+}
+
+TEST(Timeline, RecordingDoesNotPerturbSpanTreeOrAllocCounters) {
+  // Path built before enabling: root counters attribute every allocation
+  // made after setEnabled(true), including this test's own strings.
+  const std::string path = tempPath("timeline_perturb.json");
+  auto profiled_tree = [&path](bool with_timeline) {
+    spans::reset();
+    spans::setEnabled(true);
+    if (with_timeline) timeline::start(path);
+    {
+      const spans::ScopedSpan phase("phase");
+      auto* block = new char[256];
+      block[0] = 1;
+      delete[] block;
+    }
+    std::string dump = spans::snapshot(false).dump();
+    if (with_timeline) {
+      timeline::stop();
+      std::remove(path.c_str());
+    }
+    spans::setEnabled(false);
+    spans::reset();
+    return dump;
+  };
+  const std::string without = profiled_tree(false);
+  const std::string with = profiled_tree(true);
+  // The deterministic tree — counts and alloc counters included — must be
+  // byte-identical whether or not a timeline was recorded alongside it.
+  EXPECT_EQ(without, with);
+  EXPECT_NE(without.find("alloc_bytes"), std::string::npos) << without;
+}
+
+// --- lifecycle / disabled path -------------------------------------------
+
+TEST(Timeline, StopWithoutStartIsANoOp) {
+  EXPECT_FALSE(timeline::recording());
+  timeline::stop();  // must not crash or write anything
+  EXPECT_FALSE(timeline::recording());
+}
+
+TEST(Timeline, UnwritablePathThrows) {
+  EXPECT_THROW(timeline::start("no_such_dir/timeline.json"),
+               std::runtime_error);
+  EXPECT_FALSE(timeline::recording());
+}
+
+TEST(Timeline, DisabledPathRecordsNoEventsAndAllocatesNothing) {
+  spans::setEnabled(false);
+  spans::reset();
+  const std::uint64_t before = memstats::threadCounters().alloc_count;
+  for (int i = 0; i < 1000; ++i) {
+    const spans::ScopedSpan s("hot_path");
+  }
+  EXPECT_EQ(memstats::threadCounters().alloc_count, before);
+  EXPECT_EQ(timeline::eventCount(), 0u);
+}
+
+TEST(Timeline, RestartAfterStopRecordsAFreshTrace) {
+  const std::string first = tempPath("timeline_first.json");
+  const std::string second = tempPath("timeline_second.json");
+  timeline::start(first);
+  { const spans::ScopedSpan a("first_span"); }
+  timeline::stop();
+  timeline::start(second);
+  { const spans::ScopedSpan b("second_span"); }
+  EXPECT_EQ(timeline::eventCount(), 2u);
+  timeline::stop();
+  const std::string text = slurp(second);
+  EXPECT_NE(text.find("second_span"), std::string::npos);
+  EXPECT_EQ(text.find("first_span"), std::string::npos);
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+}  // namespace

@@ -11,7 +11,13 @@ Supports both artifact families the repo produces:
     tolerance fails; getting faster never does. Every other leaf
     (objectives, counters, span counts, success flags, ...) must be
     exactly equal — these fields are deterministic by construction, so
-    any drift is a correctness regression, not noise.
+    any drift is a correctness regression, not noise. The per-span
+    memory-attribution counters (`alloc_count` / `alloc_bytes`) are
+    deliberately in the exact class: they are thread-merged and
+    byte-identical at any thread count, so a change means the workload's
+    allocation behaviour changed. Machine-state fields (`peak_rss_bytes`)
+    and timeline-recorder telemetry (`timeline.*`) are ignored by
+    default — they vary run to run without meaning anything.
 
   * google-benchmark JSON (micro_gp, micro_circuit with
     `--benchmark_format=json`): benchmarks are matched by name and their
@@ -45,6 +51,10 @@ from pathlib import Path
 TIMING_KEY_RE = re.compile(r"(_s|_seconds)$")
 # Higher is better for these; regression direction flips.
 HIGHER_IS_BETTER = {"speedup"}
+# Machine-state and recorder-telemetry paths compared never, not exactly:
+# peak RSS is whatever the OS measured, and timeline counters only exist
+# when a trace was recorded alongside the run.
+DEFAULT_IGNORE = ("*peak_rss*", "*timeline.*")
 
 
 def is_timing_path(path: list[str]) -> bool:
@@ -70,8 +80,8 @@ class Comparison:
 
     def ignored(self, path: list[str]) -> bool:
         name = dotted(path)
-        return any(fnmatch.fnmatch(name, pattern)
-                   for pattern in self.args.ignore)
+        patterns = list(DEFAULT_IGNORE) + self.args.ignore
+        return any(fnmatch.fnmatch(name, pattern) for pattern in patterns)
 
     def fail(self, path: list[str], message: str) -> None:
         self.problems.append(f"{dotted(path)}: {message}")

@@ -41,17 +41,38 @@ class HotPath:
 
 
 @dataclass
+class Coupling:
+    """A registered observability coupling: `file` must mention `token`.
+
+    The observability stack works through cross-file hook sites — the span
+    profiler dispatches to the timeline recorder, the pool hands captured
+    arenas back, telemetry samples peak RSS. Deleting one of those call
+    sites compiles and passes most tests; it only shows up as a silently
+    poorer trace or report. Registering the (file, token) pair here makes
+    the removal a lint failure with a written rationale.
+    """
+
+    file: str
+    token: str
+    why: str
+
+
+@dataclass
 class Config:
     # D001: ambient RNG. linalg/rng.* is the one audited seeding site.
     rng_allowed: tuple[str, ...] = ("src/linalg/rng.h", "src/linalg/rng.cpp")
 
     # D002: wall-clock reads. Telemetry and the span profiler measure time
-    # by design; bench harnesses time their own repeat loops.
+    # by design; the timeline recorder stamps trace events (its output is
+    # explicitly outside the deterministic artifact contract); bench
+    # harnesses time their own repeat loops.
     clock_allowed: tuple[str, ...] = (
         "src/common/telemetry.h",
         "src/common/telemetry.cpp",
         "src/common/spans.h",
         "src/common/spans.cpp",
+        "src/common/timeline.h",
+        "src/common/timeline.cpp",
         "bench",
     )
 
@@ -120,6 +141,58 @@ class Config:
 
     # O002: directories whose CMakeLists.txt must build every sibling .cpp.
     cmake_scope: tuple[str, ...] = ("src", "tests", "bench", "examples")
+
+    # O003: observability hook sites that must keep existing. Each entry
+    # pins a cross-file coupling of the spans/memstats/timeline stack.
+    couplings: tuple[Coupling, ...] = (
+        Coupling(
+            "src/common/spans.cpp",
+            "recordBegin",
+            "span open must dispatch a timeline begin event while a "
+            "recording is active",
+        ),
+        Coupling(
+            "src/common/spans.cpp",
+            "recordEnd",
+            "span close must dispatch a timeline end event while a "
+            "recording is active",
+        ),
+        Coupling(
+            "src/common/spans.cpp",
+            "PauseScope",
+            "profiler arena growth must run under memstats::PauseScope or "
+            "the profiler counts its own allocations",
+        ),
+        Coupling(
+            "src/common/parallel.cpp",
+            "beginWorkerCapture",
+            "pool workers must capture per-thread span arenas or parallel "
+            "regions drop out of attribution",
+        ),
+        Coupling(
+            "src/common/parallel.cpp",
+            "mergeCapturedTree",
+            "captured worker trees must merge into the caller's span or "
+            "counters depend on the thread count",
+        ),
+        Coupling(
+            "src/common/parallel.cpp",
+            "PauseScope",
+            "pool job setup must run under memstats::PauseScope to keep "
+            "alloc counters workload-only",
+        ),
+        Coupling(
+            "src/common/telemetry.cpp",
+            "peakRssBytes",
+            "metricsSnapshot() must report the process peak-RSS sample",
+        ),
+        Coupling(
+            "src/common/timeline.cpp",
+            "PauseScope",
+            "recorder buffer growth must run under memstats::PauseScope so "
+            "recording does not perturb alloc counters",
+        ),
+    )
 
     excludes: tuple[str, ...] = tuple(DEFAULT_EXCLUDES)
     extra: dict = field(default_factory=dict)

@@ -5,6 +5,9 @@ read; a hot path that silently loses its ScopedSpan drops out of the cost
 attribution without failing anything. O001 pins every registered phase to
 its file. O002 keeps CMakeLists.txt complete so no translation unit can
 drop out of the build (and thus out of clang-tidy and the span sweep).
+O003 pins the cross-file hook sites of the spans/memstats/timeline stack
+(the couplings registry): removing one compiles cleanly and only degrades
+the traces, so presence is enforced statically.
 """
 
 from __future__ import annotations
@@ -145,8 +148,42 @@ def check_o002_project(root: Path, files: dict[str, "FileContext"], config):
                 )
 
 
+def check_o003_project(root: Path, files: dict[str, "FileContext"], config):
+    """Every registered observability coupling keeps its hook site."""
+    by_file: dict[str, list] = {}
+    for coupling in getattr(config, "couplings", ()):
+        by_file.setdefault(coupling.file, []).append(coupling)
+    for relpath, couplings in sorted(by_file.items()):
+        ctx = files.get(relpath)
+        if ctx is None:
+            path = root / relpath
+            if not path.is_file():
+                yield Finding(
+                    "O003",
+                    relpath,
+                    1,
+                    "registered coupling file is missing; update the "
+                    "couplings registry in tools/mfbo_lint/config.py",
+                )
+                continue
+            tokens, _ = lex(path.read_text(encoding="utf-8"))
+        else:
+            tokens = ctx.tokens
+        present = {t.value for t in tokens if t.kind == "id"}
+        for coupling in couplings:
+            if coupling.token not in present:
+                yield Finding(
+                    "O003",
+                    relpath,
+                    1,
+                    f"observability hook `{coupling.token}` no longer "
+                    f"appears in this file: {coupling.why}",
+                )
+
+
 RULES: list[Rule] = []
 PROJECT_RULES = [
     ProjectRule("O001", "hot-path-span-coverage", check_o001_project),
     ProjectRule("O002", "cmake-source-coverage", check_o002_project),
+    ProjectRule("O003", "observability-coupling", check_o003_project),
 ]

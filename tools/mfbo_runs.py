@@ -1,0 +1,352 @@
+#!/usr/bin/env python3
+"""Cross-run history registry for mfbo bench artifacts.
+
+A single `--out` artifact answers "what did this run do"; the registry
+answers "how does it compare to the last fifty". Every appended artifact
+becomes one JSONL record in runs/index.jsonl, keyed by
+(bench, mode, seed, git-sha) — re-appending the same key replaces the
+old record, so re-running a bench at the same commit never duplicates
+history. The report renders the registry as Markdown: per-record result
+and cost columns, per-phase self-time and alloc-bytes from the span
+tree, and ASCII trend sparklines of the headline metrics across
+commits — the cross-run view that cost-aware fidelity scheduling work
+(and ROADMAP's surrogate-cache warm-starting) builds on.
+
+Commands:
+  append ARTIFACT [--index FILE] [--git-sha SHA] [--label TEXT]
+      Summarize one --out artifact and upsert it into the registry.
+      The git sha defaults to `git rev-parse --short HEAD`.
+  report [--index FILE] [--bench NAME] [--last N]
+      Render the registry as GitHub-flavored Markdown (CI appends this
+      to the job summary).
+
+Exit status: 0 ok, 2 usage/IO/malformed-artifact error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+from pathlib import Path
+
+SPARK_CHARS = " .:-=+*#"
+
+
+def die(message: str) -> "SystemExit":
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def load_json(path: Path) -> dict:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as err:
+        raise die(f"cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        raise die(f"{path}: not valid JSON: {err}")
+    if not isinstance(doc, dict):
+        raise die(f"{path}: artifact is not a JSON object")
+    return doc
+
+
+def detect_git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def subtree_sum(node: dict, counter: str) -> float:
+    """Sum a counter over a span node and its whole subtree."""
+    total = float(node.get("counters", {}).get(counter, 0))
+    for child in node.get("children", {}).values():
+        total += subtree_sum(child, counter)
+    return total
+
+
+def subtree_self_seconds(node: dict) -> float | None:
+    """Sum self_s over the subtree; None when the tree is timing-free."""
+    if "self_s" not in node:
+        return None
+    total = float(node["self_s"])
+    for child in node.get("children", {}).values():
+        part = subtree_self_seconds(child)
+        total += part if part is not None else 0.0
+    return total
+
+
+def summarize_phases(spans: dict) -> dict:
+    """Top-level spans and their direct children, with subtree self-time
+    and allocation totals — the per-phase rows the report renders."""
+    phases: dict[str, dict] = {}
+
+    def entry(node: dict) -> dict:
+        return {
+            "count": float(node.get("count", 0)),
+            "total_s": node.get("total_s"),
+            "self_s": subtree_self_seconds(node),
+            "alloc_count": subtree_sum(node, "alloc_count"),
+            "alloc_bytes": subtree_sum(node, "alloc_bytes"),
+        }
+
+    for name, node in spans.get("children", {}).items():
+        phases[name] = entry(node)
+        for child_name, child in node.get("children", {}).items():
+            phases[f"{name}/{child_name}"] = entry(child)
+    return phases
+
+
+def summarize_artifact(doc: dict, path: Path) -> dict:
+    for field in ("bench", "mode", "seed"):
+        if field not in doc:
+            raise die(f"{path}: artifact has no '{field}' field")
+    algorithms = {}
+    for algo in doc.get("algorithms", []):
+        objectives = [float(v) for v in algo.get("objectives", [])]
+        reach = [float(v) for v in algo.get("reach_costs", [])]
+        walls = [float(v) for v in algo.get("wall_times", [])]
+        total = int(algo.get("total_runs", len(objectives)) or 0)
+        algorithms[algo.get("name", "?")] = {
+            "median_objective":
+                statistics.median(objectives) if objectives else None,
+            "avg_sims": statistics.fmean(reach) if reach else None,
+            "mean_wall_s":
+                statistics.fmean(walls) if any(walls) else None,
+            "success_rate":
+                (int(algo.get("successes", 0)) / total) if total else None,
+        }
+    metrics = doc.get("metrics", {})
+    spans = metrics.get("spans", {})
+    record = {
+        "key": {
+            "bench": doc["bench"],
+            "mode": doc["mode"],
+            "seed": doc["seed"],
+            "git_sha": None,  # filled by append()
+        },
+        "runs": doc.get("runs"),
+        "algorithms": algorithms,
+        "phases": summarize_phases(spans),
+        "total_alloc_bytes": subtree_sum(spans, "alloc_bytes") or None,
+        "peak_rss_bytes": metrics.get("peak_rss_bytes"),
+    }
+    return record
+
+
+def load_index(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    records = []
+    for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            raise die(f"{path}:{number}: bad registry line: {err}")
+    return records
+
+
+def write_index(path: Path, records: list[dict]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+    path.write_text(text, encoding="utf-8")
+
+
+def append_command(args: argparse.Namespace) -> int:
+    doc = load_json(args.artifact)
+    record = summarize_artifact(doc, args.artifact)
+    record["key"]["git_sha"] = args.git_sha or detect_git_sha()
+    if args.label:
+        record["label"] = args.label
+    records = load_index(args.index)
+    before = len(records)
+    records = [r for r in records if r.get("key") != record["key"]]
+    replaced = before - len(records)
+    records.append(record)
+    write_index(args.index, records)
+    action = "replaced" if replaced else "appended"
+    key = record["key"]
+    print(f"{action} {key['bench']}/{key['mode']}/seed={key['seed']}"
+          f"/{key['git_sha']} in {args.index} ({len(records)} records)")
+    return 0
+
+
+# --- report rendering ----------------------------------------------------
+
+
+def sparkline(values: list[float | None]) -> str:
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    chars = []
+    for value in values:
+        if value is None:
+            chars.append("?")
+        elif span <= 0:
+            chars.append(SPARK_CHARS[-1])
+        else:
+            index = int((value - lo) / span * (len(SPARK_CHARS) - 1))
+            chars.append(SPARK_CHARS[index])
+    return "".join(chars)
+
+
+def fmt_num(value: float | None, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}g}"
+
+
+def fmt_bytes(value: float | None) -> str:
+    if value is None or value <= 0:
+        return "-"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return "-"
+
+
+def primary_algorithm(records: list[dict]) -> str | None:
+    names: list[str] = []
+    for record in records:
+        names.extend(record.get("algorithms", {}).keys())
+    if not names:
+        return None
+    return "Ours" if "Ours" in names else names[0]
+
+
+def report_group(lines: list[str], group_key: tuple, records: list[dict],
+                 last: int) -> None:
+    bench, mode, seed = group_key
+    shown = records[-last:] if last > 0 else records
+    algo = primary_algorithm(shown)
+    lines.append(f"## {bench} · {mode} · seed {seed}")
+    lines.append("")
+    header = "| git sha | runs "
+    if algo:
+        header += f"| {algo} median obj | {algo} avg sims "
+    header += "| top phase (self) | alloc | peak RSS |"
+    lines.append(header)
+    lines.append("|---" * header.count("|") + "|"
+                 if not header.endswith("|") else
+                 "|" + "---|" * (header.count("|") - 1))
+    for record in shown:
+        key = record.get("key", {})
+        row = [key.get("git_sha", "?"), str(record.get("runs", "-"))]
+        if algo:
+            stats = record.get("algorithms", {}).get(algo, {})
+            row.append(fmt_num(stats.get("median_objective")))
+            row.append(fmt_num(stats.get("avg_sims"), 3))
+        top_phase = "-"
+        phases = record.get("phases", {})
+        timed = [(name, p["self_s"]) for name, p in phases.items()
+                 if "/" in name and p.get("self_s") is not None]
+        if timed:
+            name, self_s = max(timed, key=lambda item: item[1])
+            top_phase = f"{name} ({self_s:.2f}s)"
+        row.append(top_phase)
+        row.append(fmt_bytes(record.get("total_alloc_bytes")))
+        row.append(fmt_bytes(record.get("peak_rss_bytes")))
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    if algo and len(shown) > 1:
+        objective_trend = [record.get("algorithms", {}).get(algo, {})
+                           .get("median_objective") for record in shown]
+        sims_trend = [record.get("algorithms", {}).get(algo, {})
+                      .get("avg_sims") for record in shown]
+        alloc_trend = [record.get("total_alloc_bytes") for record in shown]
+        lines.append(f"Trends across {len(shown)} records "
+                     f"(oldest → newest, {algo}):")
+        lines.append("")
+        lines.append(f"    median objective  [{sparkline(objective_trend)}]  "
+                     f"latest {fmt_num(objective_trend[-1])}")
+        lines.append(f"    avg sims to best  [{sparkline(sims_trend)}]  "
+                     f"latest {fmt_num(sims_trend[-1], 3)}")
+        if any(v for v in alloc_trend if v):
+            lines.append(f"    alloc bytes       [{sparkline(alloc_trend)}]  "
+                         f"latest {fmt_bytes(alloc_trend[-1])}")
+        lines.append("")
+    latest_phases = shown[-1].get("phases", {})
+    if latest_phases:
+        lines.append("Latest record, per-phase attribution:")
+        lines.append("")
+        lines.append("| phase | count | self s | alloc count | alloc bytes |")
+        lines.append("|---|---|---|---|---|")
+        for name, phase in latest_phases.items():
+            lines.append(
+                "| {} | {:.0f} | {} | {:.0f} | {} |".format(
+                    name, phase.get("count", 0),
+                    fmt_num(phase.get("self_s"), 3),
+                    phase.get("alloc_count", 0),
+                    fmt_bytes(phase.get("alloc_bytes"))))
+        lines.append("")
+
+
+def report_command(args: argparse.Namespace) -> int:
+    records = load_index(args.index)
+    if args.bench:
+        records = [r for r in records
+                   if r.get("key", {}).get("bench") == args.bench]
+    if not records:
+        print(f"_no records in {args.index}_")
+        return 0
+    groups: dict[tuple, list[dict]] = {}
+    for record in records:
+        key = record.get("key", {})
+        group = (key.get("bench", "?"), key.get("mode", "?"),
+                 key.get("seed", "?"))
+        groups.setdefault(group, []).append(record)
+    lines = ["# mfbo run history", ""]
+    for group_key in sorted(groups, key=str):
+        report_group(lines, group_key, groups[group_key], args.last)
+    print("\n".join(lines).rstrip())
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Append bench artifacts to, and report on, the "
+                    "cross-run history registry.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    append_p = sub.add_parser("append", help="upsert one --out artifact")
+    append_p.add_argument("artifact", type=Path)
+    append_p.add_argument("--index", type=Path,
+                          default=Path("runs/index.jsonl"))
+    append_p.add_argument("--git-sha", default=None,
+                          help="override the git sha key component")
+    append_p.add_argument("--label", default=None,
+                          help="free-form note stored with the record")
+    append_p.set_defaults(func=append_command)
+
+    report_p = sub.add_parser("report", help="render Markdown history")
+    report_p.add_argument("--index", type=Path,
+                          default=Path("runs/index.jsonl"))
+    report_p.add_argument("--bench", default=None,
+                          help="restrict to one bench")
+    report_p.add_argument("--last", type=int, default=20,
+                          help="show at most N records per group (0 = all)")
+    report_p.set_defaults(func=report_command)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # `mfbo_runs.py report | head` closes our stdout early; that is a
+        # reader choice, not an error.
+        sys.exit(0)

@@ -14,7 +14,10 @@ terminal) with, per run: a summary line, an ASCII convergence curve
 of the multi-fidelity loop — which fidelity was simulated each iteration
 and whether the model-uncertainty test (max normalized variance vs. the
 gamma threshold) forced a low-fidelity evaluation. From the artifact it
-adds a flame-style span table with self/total attribution per phase.
+adds a flame-style span table with self/total time attribution and the
+per-span self-allocation counters (alloc count / bytes) per phase, and
+flags top-level spans whose time decomposes into phases but whose
+allocations all sit unattributed on the top node.
 
 `--assert-coverage PCT` turns the report into a gate: exit 1 unless, for
 every top-level algorithm span, the self-times of the nodes in its
@@ -181,9 +184,22 @@ def run_section(run: dict, width: int) -> list[str]:
 # --- span tree ----------------------------------------------------------
 
 
+def fmt_alloc_bytes(value: float) -> str:
+    if value <= 0:
+        return "-"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return "-"
+
+
 def walk_spans(node: dict, name: str, depth: int, rows: list) -> None:
+    counters = node.get("counters", {})
     rows.append((depth, name, node.get("count", 0),
-                 node.get("total_s"), node.get("self_s")))
+                 node.get("total_s"), node.get("self_s"),
+                 counters.get("alloc_count", 0),
+                 counters.get("alloc_bytes", 0)))
     for child_name, child in node.get("children", {}).items():
         walk_spans(child, child_name, depth + 1, rows)
 
@@ -194,24 +210,27 @@ def span_table(tree: dict) -> list[str]:
         walk_spans(node, name, 0, rows)
     if not rows:
         return []
-    timed = any(total is not None for _, _, _, total, _ in rows)
+    timed = any(total is not None for _, _, _, total, _, _, _ in rows)
     lines = ["", "## Span profile", ""]
     if timed:
-        grand_total = sum(total for depth, _, _, total, _ in rows
+        grand_total = sum(total for depth, _, _, total, _, _, _ in rows
                           if depth == 0)
-        lines.append("| span | count | total s | self s | self % |")
-        lines.append("|---|---:|---:|---:|---:|")
-        for depth, name, count, total, self_s in rows:
+        lines.append("| span | count | total s | self s | self % "
+                     "| self allocs | self alloc bytes |")
+        lines.append("|---|---:|---:|---:|---:|---:|---:|")
+        for depth, name, count, total, self_s, allocs, alloc_b in rows:
             share = 100.0 * self_s / grand_total if grand_total else 0.0
             indent = "&nbsp;&nbsp;" * depth
             lines.append(f"| {indent}{name} | {count} | {total:.4f} "
-                         f"| {self_s:.4f} | {share:.1f} |")
+                         f"| {self_s:.4f} | {share:.1f} | {allocs:.0f} "
+                         f"| {fmt_alloc_bytes(alloc_b)} |")
     else:
-        lines.append("| span | count |")
-        lines.append("|---|---:|")
-        for depth, name, count, _, _ in rows:
+        lines.append("| span | count | self allocs | self alloc bytes |")
+        lines.append("|---|---:|---:|---:|")
+        for depth, name, count, _, _, allocs, alloc_b in rows:
             indent = "&nbsp;&nbsp;" * depth
-            lines.append(f"| {indent}{name} | {count} |")
+            lines.append(f"| {indent}{name} | {count} | {allocs:.0f} "
+                         f"| {fmt_alloc_bytes(alloc_b)} |")
     return lines
 
 
@@ -233,6 +252,30 @@ def coverage_rows(tree: dict) -> list[tuple[str, float]]:
     return rows
 
 
+def subtree_alloc_bytes(node: dict) -> float:
+    acc = float(node.get("counters", {}).get("alloc_bytes", 0))
+    for child in node.get("children", {}).values():
+        acc += subtree_alloc_bytes(child)
+    return acc
+
+
+def unattributed_alloc_spans(tree: dict) -> list[str]:
+    """Top-level spans whose time decomposes into phases but whose memory
+    does not: the subtree's allocations sit entirely on the top node (or
+    are missing outright), so the alloc columns say nothing about *which*
+    phase allocates. Usually means the phase spans are missing around the
+    allocating code."""
+    flagged = []
+    for name, node in tree.get("children", {}).items():
+        if not node.get("children"):
+            continue  # no phase breakdown at all; coverage says so already
+        own = float(node.get("counters", {}).get("alloc_bytes", 0))
+        total = subtree_alloc_bytes(node)
+        if total == 0 or total == own:
+            flagged.append(name)
+    return flagged
+
+
 def coverage_section(tree: dict) -> list[str]:
     rows = coverage_rows(tree)
     if not rows:
@@ -241,6 +284,14 @@ def coverage_section(tree: dict) -> list[str]:
              "Share of each algorithm's wall time attributed to a "
              "specific phase (self-times of the subtree / total):", ""]
     lines += [f"- {name}: {share:.2f}%" for name, share in rows]
+    flagged = unattributed_alloc_spans(tree)
+    if flagged:
+        lines += ["", "**Unattributed allocations:** " +
+                  ", ".join(f"`{name}`" for name in flagged) +
+                  " — self-time coverage exists but every allocated byte "
+                  "sits on the top-level span (or none were recorded), so "
+                  "the memory columns cannot point at a phase. Add spans "
+                  "around the allocating code paths."]
     return lines
 
 

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace-event JSON file (`--timeline` output).
+
+The bench `--timeline FILE` flag serializes every span open/close as a
+trace-event document: {"traceEvents": [...]} where each event carries
+name / ph / pid / tid, B/E events additionally carry a microsecond "ts".
+This validator pins the schema both viewers (chrome://tracing and
+ui.perfetto.dev) require, so CI can assert a bench-produced timeline
+actually loads before uploading it as an artifact:
+
+  * the document is a JSON object with a non-empty "traceEvents" list;
+  * every event has a string "name", a "ph" in {B, E, M, X, i, C}, and
+    integer-valued "pid"/"tid";
+  * B/E events carry a finite, non-negative, numeric "ts";
+  * per (pid, tid), timestamps are non-decreasing and B/E events form a
+    balanced stack with matching names (Perfetto rejects mismatches);
+  * with --require-span NAME (repeatable), at least one B event with
+    that exact name exists — CI uses it to pin the phase names the
+    timeline is expected to show.
+
+Exit status: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+ALLOWED_PHASES = {"B", "E", "M", "X", "i", "C"}
+
+
+def fail(problems: list[str], message: str) -> None:
+    problems.append(message)
+
+
+def validate(doc: object, require_spans: list[str]) -> list[str]:
+    """Return the list of schema violations (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        return ["'traceEvents' is empty"]
+
+    stacks: dict[tuple, list[str]] = {}
+    last_ts: dict[tuple, float] = {}
+    begin_names: set[str] = set()
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            fail(problems, f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            fail(problems, f"{where}: missing or empty 'name'")
+            name = "?"
+        phase = event.get("ph")
+        if phase not in ALLOWED_PHASES:
+            fail(problems, f"{where}: bad phase {phase!r}")
+            continue
+        for key in ("pid", "tid"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or float(value) != int(value):
+                fail(problems, f"{where}: '{key}' is not an integer")
+        if phase not in ("B", "E"):
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) \
+                or not math.isfinite(float(ts)) or float(ts) < 0:
+            fail(problems, f"{where}: bad 'ts' {ts!r}")
+            continue
+        thread = (event.get("pid"), event.get("tid"))
+        if thread in last_ts and float(ts) < last_ts[thread]:
+            fail(problems,
+                 f"{where}: timestamp went backwards on tid {thread[1]}")
+        last_ts[thread] = float(ts)
+        stack = stacks.setdefault(thread, [])
+        if phase == "B":
+            stack.append(name)
+            begin_names.add(name)
+        else:
+            if not stack:
+                fail(problems, f"{where}: 'E' without a matching 'B'")
+            elif stack[-1] != name:
+                fail(problems,
+                     f"{where}: 'E' for {name!r} but {stack[-1]!r} is open")
+                stack.pop()
+            else:
+                stack.pop()
+    for thread, stack in stacks.items():
+        if stack:
+            fail(problems,
+                 f"tid {thread[1]}: {len(stack)} unclosed 'B' event(s): "
+                 f"{stack[-1]!r} still open")
+    for wanted in require_spans:
+        if wanted not in begin_names:
+            fail(problems, f"required span {wanted!r} never began")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a --timeline trace-event JSON file.")
+    parser.add_argument("trace", type=Path, help="trace-event JSON file")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="require a B event with this exact name "
+                             "(repeatable)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the OK summary line")
+    args = parser.parse_args(argv)
+
+    try:
+        text = args.trace.read_text(encoding="utf-8")
+    except OSError as err:
+        print(f"error: cannot read {args.trace}: {err}", file=sys.stderr)
+        return 2
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        print(f"error: {args.trace}: not valid JSON: {err}", file=sys.stderr)
+        return 1
+
+    problems = validate(doc, args.require_span)
+    if problems:
+        for problem in problems[:50]:
+            print(f"{args.trace}: {problem}", file=sys.stderr)
+        if len(problems) > 50:
+            print(f"... and {len(problems) - 50} more", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        events = doc["traceEvents"]
+        span_events = sum(1 for e in events if e.get("ph") in ("B", "E"))
+        print(f"{args.trace}: OK ({len(events)} events, "
+              f"{span_events // 2} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
