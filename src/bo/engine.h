@@ -1,0 +1,308 @@
+// mfbo::bo — resumable synthesis engine: Algorithm 1's propose → simulate
+// → observe loop as an explicit state machine with versioned
+// checkpoint/resume and q-point constant-liar batch proposals.
+//
+// States and transitions (every state change goes through
+// Engine::transition — the single mutation site, pinned by lint rule
+// E001):
+//
+//   Init → FitSurrogate → Propose → AwaitResults → Observe
+//             ↑    │                                  │
+//             │    └────────→ Done (budget spent)     │
+//             └──────────────────────────────────────-┘
+//
+// Checkpoint contract: checkpoint() may be taken at any state boundary
+// (between step() calls). restore() on a freshly constructed engine
+// followed by run() yields a result and a trace-event suffix
+// byte-identical to the uninterrupted run at any thread count — the
+// crash/resume differential harness in tests/test_checkpoint.cpp enforces
+// this at every reachable boundary.
+//
+// Surrogates are restored by *replaying* the exact fit/addPoint schedule
+// against the archived observations, never by deserializing factors: the
+// incremental Cholesky append is equivalent to a rebuild only to ~1e-8, so
+// serialized factors could not reproduce the uninterrupted run's bytes.
+// The checkpointed hyperparameters instead serve as an integrity stamp the
+// replayed models must match exactly.
+//
+// Batch proposals (MfboOptions::batch_size = q > 1) use the constant-liar
+// fantasy: the fused surrogates are cloned once per batch, each proposed
+// slot is fed back into the clones as a lie (CL-min for the objective —
+// the incumbent best, so τ never moves — and the posterior mean for each
+// constraint) via the O(n²) addPoint(retrain=false) path, and the next
+// slot is proposed on the lied-to clones. The real models never see a lie,
+// every slot still gets its own eq. (11)/(12) fidelity decision, and
+// q = 1 never clones — reproducing the sequential loop bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "bo/common.h"
+#include "bo/mfbo.h"
+#include "bo/weibo.h"
+#include "common/json.h"
+#include "common/telemetry.h"
+
+namespace mfbo::bo {
+
+enum class EngineState {
+  kInit,          ///< evaluate the initial designs, construct surrogates
+  kFitSurrogate,  ///< (re)train or incrementally update the surrogates
+  kPropose,       ///< select the next batch of candidate points
+  kAwaitResults,  ///< evaluate every pending candidate
+  kObserve,       ///< publish per-iteration records for the batch
+  kDone,          ///< budget exhausted; result available
+};
+
+/// Lowercase state name used in checkpoints ("fit_surrogate", ...).
+const char* engineStateName(EngineState s);
+/// Inverse of engineStateName; unknown names are a ContractViolation.
+EngineState engineStateFromName(std::string_view name);
+
+/// One slot of the current proposal batch, carrying everything the Observe
+/// phase needs to publish the iteration record after the (possibly
+/// asynchronous) evaluation lands. Serialized verbatim into checkpoints.
+struct ProposedSlot {
+  std::size_t iteration = 0;  ///< 1-based loop iteration this slot is
+  Vector x;                   ///< proposed point (unit cube, post-dedupe)
+  Vector x_star_l;            ///< MFBO step-5 maximizer (empty for WEIBO)
+  Vector x_t_raw;             ///< pre-dedupe maximizer (empty for WEIBO)
+  Fidelity fidelity = Fidelity::kHigh;
+  bool downgraded = false;   ///< high→low forced by the remaining budget
+  bool deduped = false;      ///< nudged away from an archived duplicate
+  bool first_feasible_phase = false;  ///< eq. (13) replaced wEI
+  bool on_fantasy = false;   ///< proposed on constant-liar clones (slot > 0)
+  double tau_l = IterationRecord::kNan;
+  double tau_h = IterationRecord::kNan;
+  /// For fantasy slots: acquisition at x on the clones that proposed it
+  /// (computed at propose time — the clones are discarded with the batch).
+  /// Slot 0 computes it on the real models during Observe, as the
+  /// sequential loop always has.
+  double acquisition = IterationRecord::kNan;
+  double max_norm_var = IterationRecord::kNan;  ///< eq. (11) LHS
+  double threshold = IterationRecord::kNan;     ///< eq. (12) RHS
+  std::vector<double> norm_low_var;  ///< per-output normalized low variance
+  bool evaluated = false;
+  std::size_t history_index = 0;  ///< row in the run history once evaluated
+  std::size_t dataset_index = 0;  ///< row in its fidelity's archive
+};
+
+/// Deterministic JSON projection of a SynthesisResult, full history
+/// included: byte-equality of two dumps is equality of everything a run
+/// produced. The crash/resume harness and micro_batch compare these.
+Json synthesisResultToJson(const SynthesisResult& result);
+
+/// Base synthesis state machine. Owns the archives, cost meter, RNG and
+/// pending batch; subclasses provide the algorithm-specific Init /
+/// FitSurrogate / Propose handlers and the checkpoint policy section.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  EngineState state() const { return state_; }
+  bool done() const { return state_ == EngineState::kDone; }
+
+  /// Execute the current state's handler and advance. Not callable once
+  /// Done.
+  void step();
+
+  /// Drive the machine to completion under the algorithm's run span and
+  /// return the result. Works from a fresh engine and from a restored
+  /// checkpoint.
+  virtual SynthesisResult run() = 0;
+
+  /// Serialize the complete optimizer state at the current boundary.
+  /// Callable between any two step() calls; not once Done.
+  Json checkpoint() const;
+
+  /// Reinstate a checkpoint() document into this freshly constructed
+  /// engine (same problem, same options). Validates every field and
+  /// replays the surrogate training schedule; any mismatch — version,
+  /// problem identity, options, shapes, non-finite payloads, or replayed
+  /// hyperparameters drifting from the stamp — is a ContractViolation.
+  void restore(const Json& ckpt);
+
+  /// Move the result out; engine must be Done.
+  SynthesisResult takeResult();
+
+ protected:
+  Engine(Problem& problem, std::uint64_t seed);
+
+  /// The single state-mutation site (lint rule E001). Checks the edge
+  /// against the transition diagram above; restore() is the one caller
+  /// allowed to jump from Init to the checkpointed state.
+  void transition(EngineState next);
+
+  /// Shared driver behind every run() override: step to completion,
+  /// return the result.
+  SynthesisResult runToCompletion();
+
+  // Algorithm hooks.
+  virtual const char* algoName() const = 0;
+  virtual double budget() const = 0;
+  /// Cost of the cheapest evaluation still worth proposing.
+  virtual double minStepCost() const = 0;
+  virtual std::size_t retrainEvery() const = 0;
+  virtual std::size_t initTotal() const = 0;
+  virtual const IterationObserver& observerRef() const = 0;
+  virtual void handleInit() = 0;
+  virtual void handleFitSurrogate() = 0;
+  virtual void handlePropose() = 0;
+  /// Acquisition (or eq. 13 criterion) value reported for @p slot's
+  /// iteration record, on the models that proposed it.
+  virtual double observedAcquisition(const ProposedSlot& slot) = 0;
+  /// Subclass section of the checkpoint: options digest + surrogate
+  /// hyperparameter stamp (null until the first fit).
+  virtual Json policyJson() const = 0;
+  /// Validate the policy section against this engine's options, rebuild
+  /// the surrogates, and replay their training schedule (only up to what
+  /// @p target implies has already happened — a checkpoint at
+  /// FitSurrogate with a pending batch has *not* absorbed that batch yet).
+  virtual void restorePolicy(const Json& policy, EngineState target) = 0;
+
+  // Shared handlers.
+  void handleAwaitResults();
+  void handleObserve();
+
+  /// Evaluate one point: spans, sim counters, cost charge, history and
+  /// archive append — the single evaluation path for init and iterations.
+  /// Returns the history row index.
+  std::size_t evaluateRaw(const Vector& u, Fidelity f);
+  /// evaluateRaw for a pending slot, recording its bookkeeping indices.
+  void evaluateSlot(ProposedSlot& slot);
+
+  /// Tail of every FitSurrogate handler: archive the completed batch,
+  /// close the iteration timer, and advance on the remaining budget.
+  void finishFit();
+
+  /// True when the batch containing the given iterations retrains
+  /// hyperparameters (any slot hits the retrain_every schedule).
+  bool retrainPlanned() const;
+
+  /// Output column @p out of a dataset (0 = objective).
+  static std::vector<double> columnOf(const Dataset& ds, std::size_t out);
+
+  Problem* problem_;
+  std::uint64_t seed_;
+  std::size_t d_;
+  std::size_t nc_;
+  std::size_t n_out_;
+  Box real_box_;
+  Box unit_;
+  double ratio_;
+  Rng rng_;
+  CostTracker tracker_;
+  std::vector<HistoryEntry> history_;
+  Dataset low_;   ///< low-fidelity archive (unused by WEIBO)
+  Dataset high_;  ///< high-fidelity archive (WEIBO's only archive)
+  std::size_t iteration_ = 0;
+  std::vector<ProposedSlot> pending_;   ///< current batch
+  std::vector<std::size_t> batches_;    ///< sizes of completed batches
+  bool models_fitted_ = false;
+  std::optional<telemetry::ScopedTimer> iter_timer_;
+  SynthesisResult result_;
+
+ private:
+  void finish();
+  void restoreHistory(const Json& ckpt);
+  void restorePending(const Json& ckpt, EngineState target);
+
+  EngineState state_ = EngineState::kInit;
+  bool restoring_ = false;
+};
+
+/// The paper's multi-fidelity synthesizer as an Engine; adds q-point
+/// constant-liar batching on top of the sequential Algorithm 1.
+class MfboEngine final : public Engine {
+ public:
+  MfboEngine(Problem& problem, std::uint64_t seed, MfboOptions options);
+
+  SynthesisResult run() override;
+
+ protected:
+  const char* algoName() const override { return "mfbo"; }
+  double budget() const override { return options_.budget; }
+  double minStepCost() const override { return 1.0 / ratio_; }
+  std::size_t retrainEvery() const override { return options_.retrain_every; }
+  std::size_t initTotal() const override {
+    return options_.n_init_low + options_.n_init_high;
+  }
+  const IterationObserver& observerRef() const override {
+    return options_.observer;
+  }
+  void handleInit() override;
+  void handleFitSurrogate() override;
+  void handlePropose() override;
+  double observedAcquisition(const ProposedSlot& slot) override;
+  Json policyJson() const override;
+  void restorePolicy(const Json& policy, EngineState target) override;
+
+ private:
+  using Models = std::vector<std::unique_ptr<mf::MfSurrogate>>;
+
+  void buildModels();
+  void fitAll();
+  /// Models the next slot is proposed on: the constant-liar clones while a
+  /// batch is being fantasized, the real models otherwise.
+  const Models& activeModels() const {
+    return fantasy_.empty() ? models_ : fantasy_;
+  }
+  std::vector<gp::Prediction> lowPredictions(const Models& models,
+                                             const Vector& u) const;
+  std::vector<gp::Prediction> highPredictions(const Models& models,
+                                              const Vector& u) const;
+  /// Clone the fitted surrogates into the fantasy set (once per batch).
+  void makeFantasies();
+  /// Feed @p slot into the fantasy models as a constant-liar observation.
+  void applyLiar(const ProposedSlot& slot);
+  /// Steps 5-7 of Algorithm 1 for one batch slot, on activeModels().
+  ProposedSlot proposeSlot(std::size_t slot_index, double projected_cost,
+                           const Dataset& pending_points);
+
+  MfboOptions options_;
+  Models models_;
+  Models fantasy_;
+};
+
+/// The WEIBO baseline on the same skeleton (sequential, batch size 1).
+class WeiboEngine final : public Engine {
+ public:
+  WeiboEngine(Problem& problem, std::uint64_t seed, WeiboOptions options);
+
+  SynthesisResult run() override;
+
+ protected:
+  const char* algoName() const override { return "weibo"; }
+  double budget() const override { return options_.max_sims; }
+  double minStepCost() const override { return 1.0; }
+  std::size_t retrainEvery() const override { return options_.retrain_every; }
+  std::size_t initTotal() const override {
+    return std::min<std::size_t>(options_.n_init,
+                                 static_cast<std::size_t>(options_.max_sims));
+  }
+  const IterationObserver& observerRef() const override {
+    return options_.observer;
+  }
+  void handleInit() override;
+  void handleFitSurrogate() override;
+  void handlePropose() override;
+  double observedAcquisition(const ProposedSlot& slot) override;
+  Json policyJson() const override;
+  void restorePolicy(const Json& policy, EngineState target) override;
+
+ private:
+  void buildModels();
+  void fitAll();
+  std::vector<gp::Prediction> constraintPredictions(const Vector& u) const;
+
+  WeiboOptions options_;
+  std::vector<gp::GpRegressor> models_;
+};
+
+}  // namespace mfbo::bo

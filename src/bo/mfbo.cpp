@@ -1,278 +1,33 @@
 #include "bo/mfbo.h"
 
-#include <cmath>
+#include <memory>
 
-#include "bo/acquisition.h"
-#include "common/check.h"
-#include "common/spans.h"
-#include "common/telemetry.h"
+#include "bo/engine.h"
 
 namespace mfbo::bo {
 
+// The synthesis loop itself lives in MfboEngine (bo/engine.cpp): the
+// sequential Algorithm 1 is the batch_size = 1 special case of the
+// state-machine engine and reproduces the former inline loop bit-for-bit.
+
 SynthesisResult MfboSynthesizer::run(Problem& problem,
                                      std::uint64_t seed) const {
-  const std::size_t d = problem.dim();
-  MFBO_CHECK(d > 0, "problem has zero dimensions");
-  MFBO_CHECK(options_.n_init_low > 0 && options_.n_init_high > 0,
-             "initial designs must be non-empty, got ", options_.n_init_low,
-             " low / ", options_.n_init_high, " high");
-  MFBO_CHECK(problem.costRatio() > 0.0, "cost ratio must be positive, got ",
-             problem.costRatio());
-  MFBO_CHECK(options_.gamma >= 0.0, "gamma must be non-negative, got ",
-             options_.gamma);
-  const std::size_t nc = problem.numConstraints();
-  const std::size_t n_out = 1 + nc;
-  const Box real_box = problem.bounds();
-  MFBO_CHECK(real_box.dim() == d, "problem bounds dim ", real_box.dim(),
-             " does not match problem dim ", d);
-  const Box unit = Box::unitCube(d);
-  const double ratio = problem.costRatio();
-  Rng rng(seed);
-  const spans::ScopedSpan run_span("mfbo");
-  traceRunStart("mfbo", problem, seed, options_.budget);
-  static telemetry::Counter& iterations_total =
-      telemetry::counter("bo.mfbo.iterations");
-  static telemetry::Counter& downgrades_total =
-      telemetry::counter("bo.mfbo.budget_downgrades");
-  static telemetry::Timer& iteration_timer =
-      telemetry::timer("bo.mfbo.iteration_seconds");
+  MfboEngine engine(problem, seed, options_);
+  return engine.run();
+}
 
-  CostTracker tracker(ratio);
-  std::vector<HistoryEntry> history;
-  Dataset low, high;
+SynthesisResult MfboSynthesizer::resume(Problem& problem,
+                                        const Json& checkpoint) const {
+  // The seed is part of the checkpoint; the constructor argument is
+  // overwritten by restore().
+  MfboEngine engine(problem, 0, options_);
+  engine.restore(checkpoint);
+  return engine.run();
+}
 
-  auto evaluate = [&](const Vector& u, Fidelity f) {
-    const bool hi = f == Fidelity::kHigh;
-    const spans::ScopedSpan sim_span(hi ? "simulate_high" : "simulate_low");
-    spans::addCounter(hi ? "sims_high" : "sims_low");
-    const Vector x_real = real_box.fromUnit(u);
-    Evaluation eval = problem.evaluate(x_real, f);
-    tracker.charge(f);
-    history.push_back({x_real, eval, f, tracker.cost()});
-    (f == Fidelity::kHigh ? high : low).add(u, std::move(eval));
-  };
-
-  // Step 1 of Algorithm 1: initial designs at both fidelities.
-  for (const Vector& u : linalg::latinHypercube(options_.n_init_low, unit, rng))
-    evaluate(u, Fidelity::kLow);
-  for (const Vector& u :
-       linalg::latinHypercube(options_.n_init_high, unit, rng))
-    evaluate(u, Fidelity::kHigh);
-
-  // One fusing surrogate per output.
-  SurrogateFactory factory = options_.surrogate_factory;
-  if (!factory) {
-    factory = [this](std::size_t x_dim, std::uint64_t s) {
-      mf::NargpConfig cfg = options_.nargp;
-      cfg.seed = s;
-      cfg.low.seed = s + 17;
-      cfg.high.seed = s + 31;
-      return std::make_unique<mf::NargpModel>(x_dim, cfg);
-    };
-  }
-  std::vector<std::unique_ptr<mf::MfSurrogate>> models;
-  models.reserve(n_out);
-  for (std::size_t i = 0; i < n_out; ++i)
-    models.push_back(factory(d, seed * 1000003u + i));
-  auto column = [&](const Dataset& ds, std::size_t out) {
-    return out == 0 ? ds.objectives() : ds.constraintColumn(out - 1);
-  };
-  auto fit_all = [&] {
-    for (std::size_t i = 0; i < n_out; ++i)
-      models[i]->fit(low.x, column(low, i), high.x, column(high, i));
-  };
-  fit_all();
-
-  auto low_predictions = [&](const Vector& u) {
-    std::vector<gp::Prediction> p(n_out);
-    for (std::size_t i = 0; i < n_out; ++i) p[i] = models[i]->predictLow(u);
-    return p;
-  };
-  auto high_predictions = [&](const Vector& u) {
-    std::vector<gp::Prediction> p(n_out);
-    for (std::size_t i = 0; i < n_out; ++i) p[i] = models[i]->predictHigh(u);
-    return p;
-  };
-
-  std::size_t iteration = 0;
-  // Loop while at least a low-fidelity evaluation still fits the budget.
-  while (tracker.cost() + 1.0 / ratio <= options_.budget + 1e-9) {
-    ++iteration;
-    iterations_total.add();
-    const telemetry::ScopedTimer iteration_scope(iteration_timer);
-    const auto feas_low = low.bestFeasible();
-    const auto feas_high = high.bestFeasible();
-
-    // τ incumbents (§4.1): locations of the current best results of the
-    // low- and high-fidelity search spaces.
-    const std::optional<Vector> inc_l =
-        low.size() ? std::optional<Vector>(
-                         low.x[feas_low ? *feas_low : low.bestByMerit()])
-                   : std::nullopt;
-    const std::optional<Vector> inc_h =
-        high.size() ? std::optional<Vector>(
-                          high.x[feas_high ? *feas_high : high.bestByMerit()])
-                    : std::nullopt;
-
-    // Step 5: optimize the low-fidelity acquisition → x*_l.
-    Vector x_star_l;
-    double tau_l = IterationRecord::kNan;
-    const bool ff_low = nc > 0 && !feas_low && options_.use_first_feasible;
-    std::optional<spans::ScopedSpan> phase_span;
-    phase_span.emplace("acq_low");
-    if (ff_low) {
-      opt::ScalarObjective criterion = [&](const Vector& u) {
-        const auto p = low_predictions(u);
-        return predictedViolation({p.begin() + 1, p.end()});
-      };
-      x_star_l = minimizeCriterionMsp(criterion, unit, options_.msp.n_starts,
-                                      options_.msp.local, rng);
-    } else {
-      tau_l = feas_low ? low.evals[*feas_low].objective
-                       : models[0]->bestLowObserved();
-      // Ranked in log space: the linear wEI product underflows to a flat 0
-      // wherever several constraints are simultaneously improbable, which
-      // would blind the MSP search exactly where it must still rank.
-      opt::ScalarObjective acq_low = [&](const Vector& u) {
-        const auto p = low_predictions(u);
-        return logWeightedEi(p[0], tau_l, {p.begin() + 1, p.end()});
-      };
-      x_star_l = maximizeAcquisitionMsp(acq_low, unit, inc_l, inc_h,
-                                        options_.msp, rng);
-    }
-
-    // Step 6: optimize the fused high-fidelity acquisition seeded with
-    // x*_l (plus a few jittered copies of it).
-    phase_span.emplace("acq_high");
-    std::vector<Vector> seeds{x_star_l};
-    for (std::size_t i = 0; i < options_.x_star_seeds; ++i)
-      seeds.push_back(linalg::gaussianJitterInBox(
-          x_star_l, options_.msp.relative_sd, unit, rng));
-
-    Vector x_t;
-    double tau_h = IterationRecord::kNan;
-    const bool ff_high = nc > 0 && !feas_high && options_.use_first_feasible;
-    if (ff_high) {
-      // eq. (13) on the fused high-fidelity posterior means.
-      opt::ScalarObjective criterion = [&](const Vector& u) {
-        const auto p = high_predictions(u);
-        return predictedViolation({p.begin() + 1, p.end()});
-      };
-      opt::ScalarObjective negated = [&](const Vector& u) {
-        return -criterion(u);
-      };
-      // Reuse the MSP maximizer on the negated criterion so the x*_l seeds
-      // participate; equivalent to minimizing the criterion.
-      x_t = maximizeAcquisitionMsp(negated, unit, inc_l, inc_h, options_.msp,
-                                   rng, seeds);
-    } else {
-      tau_h = feas_high ? high.evals[*feas_high].objective
-                        : models[0]->bestHighObserved();
-      // Log-space ranking, as for the low-fidelity acquisition above.
-      opt::ScalarObjective acq_high = [&](const Vector& u) {
-        const auto p = high_predictions(u);
-        return logWeightedEi(p[0], tau_h, {p.begin() + 1, p.end()});
-      };
-      x_t = maximizeAcquisitionMsp(acq_high, unit, inc_l, inc_h, options_.msp,
-                                   rng, seeds);
-    }
-
-    // Dedupe before the fidelity decision, against both archives (the
-    // chosen fidelity is not known yet): the eq. (11)/(12) σ²_l criterion
-    // must be evaluated at the point actually simulated, not at a raw
-    // maximizer that a later nudge moves.
-    const Vector x_t_raw = x_t;
-    x_t = dedupeCandidate(std::move(x_t), {&low, &high}, unit, rng);
-    const bool deduped = x_t.raw() != x_t_raw.raw();
-
-    // Step 7 (§3.4): fidelity selection. Variances are normalized by each
-    // low GP's output scale so γ is dimensionless (eq. 11-12). The low
-    // predictions at x_t are computed once and shared with the iteration
-    // record below.
-    phase_span.emplace("fidelity_decision");
-    const std::vector<gp::Prediction> p_low_t = low_predictions(x_t);
-    std::vector<double> norm_vars(n_out);
-    double max_norm_var = 0.0;
-    for (std::size_t i = 0; i < n_out; ++i) {
-      const double sd_out = models[i]->lowOutputSd();
-      norm_vars[i] = p_low_t[i].var / (sd_out * sd_out);
-      max_norm_var = std::max(max_norm_var, norm_vars[i]);
-    }
-    const double threshold = (1.0 + static_cast<double>(nc)) * options_.gamma;
-    Fidelity f = max_norm_var < threshold ? Fidelity::kHigh : Fidelity::kLow;
-    // Respect the remaining budget: a high-fidelity evaluation that no
-    // longer fits is downgraded.
-    bool downgraded = false;
-    if (f == Fidelity::kHigh &&
-        tracker.cost() + 1.0 > options_.budget + 1e-9) {
-      f = Fidelity::kLow;
-      downgraded = true;
-      downgrades_total.add();
-    }
-
-    phase_span.reset();
-    evaluate(x_t, f);
-
-    // Step 8: update the training sets / surrogates.
-    const bool retrain = options_.retrain_every <= 1 ||
-                         iteration % options_.retrain_every == 0;
-
-    if (iterationWanted(options_.observer)) {
-      const spans::ScopedSpan observe_span("observe");
-      IterationRecord rec;
-      rec.algo = "mfbo";
-      rec.iteration = iteration;
-      rec.fidelity = f;
-      rec.downgraded = downgraded;
-      rec.retrained = retrain;
-      rec.first_feasible_phase = ff_high;
-      rec.tau_l = tau_l;
-      rec.tau_h = tau_h;
-      rec.max_norm_var = max_norm_var;
-      rec.threshold = threshold;
-      rec.norm_low_var = std::move(norm_vars);
-      rec.cumulative_cost = tracker.cost();
-      rec.x_star_l = &x_star_l;
-      rec.x_t_raw = &x_t_raw;
-      rec.deduped = deduped;
-      rec.x = &history.back().x;
-      rec.eval = &history.back().eval;
-      // Acquisition (or eq. 13 criterion) value at the evaluated point —
-      // one fused MC pass per output, shared across the record. Reported
-      // in linear space (the log form is only the search's ranking).
-      {
-        const auto p_high_t = high_predictions(x_t);
-        rec.acquisition =
-            ff_high
-                ? predictedViolation({p_high_t.begin() + 1, p_high_t.end()})
-                : weightedEi(p_high_t[0], tau_h,
-                             {p_high_t.begin() + 1, p_high_t.end()});
-      }
-      if (const auto best = bestHighIndex(history)) {
-        rec.best_objective = history[*best].eval.objective;
-        rec.feasible_found = history[*best].eval.feasible();
-      }
-      publishIteration(rec, options_.observer);
-    }
-
-    if (retrain) {
-      fit_all();
-    } else {
-      for (std::size_t i = 0; i < n_out; ++i) {
-        const Dataset& ds = f == Fidelity::kHigh ? high : low;
-        const double y = i == 0 ? ds.evals.back().objective
-                                : ds.evals.back().constraints[i - 1];
-        if (f == Fidelity::kHigh)
-          models[i]->addHigh(ds.x.back(), y, false);
-        else
-          models[i]->addLow(ds.x.back(), y, false);
-      }
-    }
-  }
-
-  SynthesisResult result = finalizeResult(std::move(history), tracker);
-  traceRunEnd("mfbo", result);
-  return result;
+std::unique_ptr<Engine> MfboSynthesizer::makeEngine(Problem& problem,
+                                                    std::uint64_t seed) const {
+  return std::make_unique<MfboEngine>(problem, seed, options_);
 }
 
 }  // namespace mfbo::bo

@@ -14,12 +14,19 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "bo/common.h"
 #include "mf/ar1.h"
 #include "mf/nargp.h"
 
+namespace mfbo {
+class Json;
+}
+
 namespace mfbo::bo {
+
+class Engine;
 
 /// Factory producing one fusing surrogate per output; @p seed decorrelates
 /// the per-output models. Defaults to the NARGP model of the paper; the
@@ -41,6 +48,12 @@ struct MfboOptions {
   /// §4.2 first-feasible strategy (minimize eq. 13 until a feasible point
   /// is known). Disable only for ablation.
   bool use_first_feasible = true;
+  /// Proposals per batch (q). 1 reproduces the sequential Algorithm 1
+  /// bit-for-bit; q > 1 proposes q points per iteration of the state
+  /// machine via constant-liar fantasizing (see engine.h), each with its
+  /// own eq. (11)/(12) fidelity decision, so one session can keep q
+  /// simulators busy.
+  std::size_t batch_size = 1;
   /// Surrogate override; null = NARGP with the `nargp` config above.
   SurrogateFactory surrogate_factory;
   /// Optional per-iteration progress callback (live streaming, --verbose).
@@ -55,6 +68,17 @@ class MfboSynthesizer {
 
   /// Run one synthesis. Deterministic given (problem, seed).
   SynthesisResult run(Problem& problem, std::uint64_t seed) const;
+
+  /// Resume a run from an Engine::checkpoint() document and drive it to
+  /// completion. With the same problem and options, the result and the
+  /// emitted trace-event suffix are byte-identical to the uninterrupted
+  /// run's.
+  SynthesisResult resume(Problem& problem, const Json& checkpoint) const;
+
+  /// Build the underlying state machine for stepwise driving (the
+  /// checkpoint/kill/resume harnesses and service schedulers).
+  std::unique_ptr<Engine> makeEngine(Problem& problem,
+                                     std::uint64_t seed) const;
 
   const MfboOptions& options() const { return options_; }
 

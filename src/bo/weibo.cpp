@@ -1,154 +1,31 @@
 #include "bo/weibo.h"
 
 #include <memory>
-#include <utility>
 
-#include "bo/acquisition.h"
-#include "common/check.h"
-#include "common/spans.h"
-#include "common/telemetry.h"
+#include "bo/engine.h"
 
 namespace mfbo::bo {
 
+// The synthesis loop itself lives in WeiboEngine (bo/engine.cpp), on the
+// same state-machine skeleton as MFBO; it reproduces the former inline
+// loop bit-for-bit.
+
 SynthesisResult Weibo::run(Problem& problem, std::uint64_t seed) const {
-  const std::size_t d = problem.dim();
-  MFBO_CHECK(d > 0, "problem has zero dimensions");
-  const std::size_t nc = problem.numConstraints();
-  const Box real_box = problem.bounds();
-  const Box unit = Box::unitCube(d);
-  Rng rng(seed);
-  const spans::ScopedSpan run_span("weibo");
-  traceRunStart("weibo", problem, seed, options_.max_sims);
-  static telemetry::Counter& iterations_total =
-      telemetry::counter("bo.weibo.iterations");
+  WeiboEngine engine(problem, seed, options_);
+  return engine.run();
+}
 
-  CostTracker tracker(problem.costRatio());
-  std::vector<HistoryEntry> history;
-  Dataset data;
+SynthesisResult Weibo::resume(Problem& problem, const Json& checkpoint) const {
+  // The seed is part of the checkpoint; the constructor argument is
+  // overwritten by restore().
+  WeiboEngine engine(problem, 0, options_);
+  engine.restore(checkpoint);
+  return engine.run();
+}
 
-  auto evaluate = [&](const Vector& u) {
-    const spans::ScopedSpan sim_span("simulate_high");
-    spans::addCounter("sims_high");
-    const Vector x_real = real_box.fromUnit(u);
-    Evaluation eval = problem.evaluate(x_real, Fidelity::kHigh);
-    tracker.charge(Fidelity::kHigh);
-    history.push_back({x_real, eval, Fidelity::kHigh, tracker.cost()});
-    data.add(u, std::move(eval));
-  };
-
-  // Initial space-filling design.
-  const std::size_t n_init =
-      std::min<std::size_t>(options_.n_init,
-                            static_cast<std::size_t>(options_.max_sims));
-  for (const Vector& u : linalg::latinHypercube(n_init, unit, rng))
-    evaluate(u);
-
-  // One GP per output: index 0 is the objective, 1..nc the constraints.
-  std::vector<gp::GpRegressor> models;
-  models.reserve(1 + nc);
-  for (std::size_t i = 0; i <= nc; ++i) {
-    gp::GpConfig cfg = options_.gp;
-    cfg.seed = seed * 1000003u + i;
-    models.emplace_back(std::make_unique<gp::SeArdKernel>(d), cfg);
-  }
-  auto fit_all = [&] {
-    const spans::ScopedSpan fit_span("fit_high");
-    models[0].fit(data.x, data.objectives());
-    for (std::size_t i = 0; i < nc; ++i)
-      models[1 + i].fit(data.x, data.constraintColumn(i));
-  };
-  fit_all();
-
-  auto constraint_predictions = [&](const Vector& u) {
-    std::vector<gp::Prediction> cons(nc);
-    for (std::size_t i = 0; i < nc; ++i) cons[i] = models[1 + i].predict(u);
-    return cons;
-  };
-
-  std::size_t iteration = 0;
-  while (tracker.cost() + 1.0 <= options_.max_sims + 1e-9) {
-    ++iteration;
-    iterations_total.add();
-    const auto feasible_idx = data.bestFeasible();
-
-    Vector candidate;
-    double tau = IterationRecord::kNan;
-    const bool ff = nc > 0 && !feasible_idx && options_.use_first_feasible;
-    std::optional<spans::ScopedSpan> phase_span;
-    phase_span.emplace("acq_high");
-    if (ff) {
-      // First-feasible phase (eq. 13): pull the search into the predicted
-      // feasible region before spending budget on wEI.
-      opt::ScalarObjective criterion = [&](const Vector& u) {
-        return predictedViolation(constraint_predictions(u));
-      };
-      candidate = minimizeCriterionMsp(criterion, unit, options_.msp.n_starts,
-                                       options_.msp.local, rng);
-    } else {
-      tau = feasible_idx ? data.evals[*feasible_idx].objective
-                         : models[0].bestObserved();
-      // Ranked in log space so constraint-product underflow cannot
-      // flatten the MSP search surface; the record below reports the
-      // linear-space value.
-      opt::ScalarObjective acq = [&](const Vector& u) {
-        return logWeightedEi(models[0].predict(u), tau,
-                             constraint_predictions(u));
-      };
-      // Single-fidelity: only the τ_h incumbent exists (fraction per §4.1).
-      const std::optional<Vector> incumbent =
-          feasible_idx ? std::optional<Vector>(data.x[*feasible_idx])
-                       : std::optional<Vector>(data.x[data.bestByMerit()]);
-      candidate = maximizeAcquisitionMsp(acq, unit, std::nullopt, incumbent,
-                                         options_.msp, rng);
-    }
-
-    candidate = dedupeCandidate(std::move(candidate), data, unit, rng);
-    phase_span.reset();
-    evaluate(candidate);
-
-    // Update the models with the new observation.
-    const bool retrain = options_.retrain_every <= 1 ||
-                         iteration % options_.retrain_every == 0;
-
-    if (iterationWanted(options_.observer)) {
-      const spans::ScopedSpan observe_span("observe");
-      IterationRecord rec;
-      rec.algo = "weibo";
-      rec.iteration = iteration;
-      rec.fidelity = Fidelity::kHigh;
-      rec.retrained = retrain;
-      rec.first_feasible_phase = ff;
-      rec.tau_h = tau;
-      rec.cumulative_cost = tracker.cost();
-      rec.x = &history.back().x;
-      rec.eval = &history.back().eval;
-      // Acquisition (or eq. 13 criterion) value at the evaluated point,
-      // on the pre-update models that selected it.
-      rec.acquisition =
-          ff ? predictedViolation(constraint_predictions(candidate))
-             : weightedEi(models[0].predict(candidate), tau,
-                          constraint_predictions(candidate));
-      if (const auto best = bestHighIndex(history)) {
-        rec.best_objective = history[*best].eval.objective;
-        rec.feasible_found = history[*best].eval.feasible();
-      }
-      publishIteration(rec, options_.observer);
-    }
-
-    if (retrain) {
-      fit_all();
-    } else {
-      const spans::ScopedSpan fit_span("fit_high");
-      models[0].addPoint(data.x.back(), data.evals.back().objective, false);
-      for (std::size_t i = 0; i < nc; ++i)
-        models[1 + i].addPoint(data.x.back(),
-                               data.evals.back().constraints[i], false);
-    }
-  }
-
-  SynthesisResult result = finalizeResult(std::move(history), tracker);
-  traceRunEnd("weibo", result);
-  return result;
+std::unique_ptr<Engine> Weibo::makeEngine(Problem& problem,
+                                          std::uint64_t seed) const {
+  return std::make_unique<WeiboEngine>(problem, seed, options_);
 }
 
 }  // namespace mfbo::bo

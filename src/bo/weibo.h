@@ -7,10 +7,18 @@
 // (Σ max(0, µ_i)) is minimized instead of wEI.
 #pragma once
 
+#include <memory>
+
 #include "bo/common.h"
 #include "gp/gp_regressor.h"
 
+namespace mfbo {
+class Json;
+}
+
 namespace mfbo::bo {
+
+class Engine;
 
 struct WeiboOptions {
   std::size_t n_init = 20;     ///< initial LHS design (high fidelity)
@@ -32,6 +40,14 @@ class Weibo {
 
   /// Run one synthesis. Deterministic given (problem, seed).
   SynthesisResult run(Problem& problem, std::uint64_t seed) const;
+
+  /// Resume a run from an Engine::checkpoint() document (see
+  /// MfboSynthesizer::resume).
+  SynthesisResult resume(Problem& problem, const Json& checkpoint) const;
+
+  /// Build the underlying state machine for stepwise driving.
+  std::unique_ptr<Engine> makeEngine(Problem& problem,
+                                     std::uint64_t seed) const;
 
   const WeiboOptions& options() const { return options_; }
 

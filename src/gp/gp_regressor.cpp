@@ -312,4 +312,13 @@ double GpRegressor::bestObserved() const {
   return *std::min_element(y_raw_.begin(), y_raw_.end());
 }
 
+std::vector<double> GpRegressor::hyperparameters() const {
+  const Vector p = kernel_->params();
+  std::vector<double> out;
+  out.reserve(p.size() + 1);
+  for (std::size_t i = 0; i < p.size(); ++i) out.push_back(p[i]);
+  out.push_back(noiseSd());
+  return out;
+}
+
 }  // namespace mfbo::gp

@@ -101,6 +101,11 @@ class GpRegressor {
   /// Smallest observed target (τ in the acquisition functions).
   double bestObserved() const;
 
+  /// Flat hyperparameter vector: kernel log-params followed by the noise
+  /// sd. Checkpoints store it as an integrity stamp — a restored run
+  /// replays the training schedule and must land on exactly these values.
+  std::vector<double> hyperparameters() const;
+
   // Power-user access for models that build custom batched prediction
   // paths on top of the cached posterior (NARGP's MC integration):
 

@@ -102,4 +102,12 @@ double Ar1Model::bestHighObserved() const {
   return *std::min_element(y_high_.begin(), y_high_.end());
 }
 
+std::vector<double> Ar1Model::hyperparameters() const {
+  std::vector<double> out = low_gp_.hyperparameters();
+  const std::vector<double> delta = delta_gp_.hyperparameters();
+  out.insert(out.end(), delta.begin(), delta.end());
+  out.push_back(rho_);
+  return out;
+}
+
 }  // namespace mfbo::mf

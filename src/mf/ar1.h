@@ -36,6 +36,11 @@ class Ar1Model final : public MfSurrogate {
   double bestHighObserved() const override;
   double lowOutputSd() const override { return low_gp_.outputSd(); }
 
+  std::unique_ptr<MfSurrogate> clone() const override {
+    return std::make_unique<Ar1Model>(*this);
+  }
+  std::vector<double> hyperparameters() const override;
+
   double rho() const { return rho_; }
 
  private:

@@ -53,6 +53,16 @@ class MfSurrogate {
   /// predictLow(x).var by its square puts the uncertainty on the
   /// standardized scale the eq. (11) threshold γ applies to.
   virtual double lowOutputSd() const = 0;
+
+  /// Deep copy. The batch engine clones the fitted surrogate before
+  /// feeding it constant-liar fantasy points, so the real model never sees
+  /// a lie and serial byte-determinism is preserved.
+  virtual std::unique_ptr<MfSurrogate> clone() const = 0;
+
+  /// Flat vector of every trained hyperparameter (internal GPs low-first:
+  /// kernel log-params then noise sd; fusion scalars appended). Stored in
+  /// checkpoints as an integrity stamp for the replay-based restore.
+  virtual std::vector<double> hyperparameters() const = 0;
 };
 
 }  // namespace mfbo::mf

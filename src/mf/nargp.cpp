@@ -204,4 +204,11 @@ double NargpModel::bestHighObserved() const {
   return *std::min_element(y_high_.begin(), y_high_.end());
 }
 
+std::vector<double> NargpModel::hyperparameters() const {
+  std::vector<double> out = low_gp_.hyperparameters();
+  const std::vector<double> high = high_gp_.hyperparameters();
+  out.insert(out.end(), high.begin(), high.end());
+  return out;
+}
+
 }  // namespace mfbo::mf

@@ -51,6 +51,11 @@ class NargpModel final : public MfSurrogate {
   double bestHighObserved() const override;
   double lowOutputSd() const override { return low_gp_.outputSd(); }
 
+  std::unique_ptr<MfSurrogate> clone() const override {
+    return std::make_unique<NargpModel>(*this);
+  }
+  std::vector<double> hyperparameters() const override;
+
   std::size_t xDim() const { return x_dim_; }
   const gp::GpRegressor& lowGp() const { return low_gp_; }
   const gp::GpRegressor& highGp() const { return high_gp_; }

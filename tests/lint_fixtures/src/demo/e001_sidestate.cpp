@@ -1,0 +1,25 @@
+// Fixture: E001 fires — this file is registered as an engine
+// state-machine file (see the test's Config) and assigns `state_` from a
+// handler instead of funnelling through transition(). Comparisons and the
+// transition body itself must stay silent.
+namespace demo {
+
+enum class State { kInit, kRun, kDone };
+
+class Machine {
+ public:
+  void transition(State next) { state_ = next; }
+
+  void handleRun() {
+    if (state_ == State::kInit) {
+      state_ = State::kRun;  // <-- side-steps the legality check
+    }
+  }
+
+  bool done() const { return state_ == State::kDone; }
+
+ private:
+  State state_ = State::kInit;
+};
+
+}  // namespace demo

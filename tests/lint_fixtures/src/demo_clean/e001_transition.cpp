@@ -1,0 +1,21 @@
+// Clean twin of e001: every `state_` write funnels through transition();
+// handlers only read and compare.
+namespace demo {
+
+enum class State { kInit, kRun, kDone };
+
+class Machine {
+ public:
+  void transition(State next) { state_ = next; }
+
+  void handleRun() {
+    if (state_ == State::kInit) transition(State::kRun);
+  }
+
+  bool done() const { return state_ == State::kDone; }
+
+ private:
+  State state_ = State::kInit;
+};
+
+}  // namespace demo

@@ -29,6 +29,7 @@ EXPECTED = {
     ("D004", "src/demo/d004_thread.cpp"),
     ("D005", "src/demo/d005_static.cpp"),
     ("C001", "src/demo/c001_contract.cpp"),
+    ("E001", "src/demo/e001_sidestate.cpp"),
     ("C002", "src/demo/c002_assert.cpp"),
     ("C003", "src/demo/c003_catch.cpp"),
     ("O001", "src/demo/o001_nospan.cpp"),
@@ -62,6 +63,10 @@ def fixture_config() -> Config:
             ),
         ),
         clock_allowed=("src/demo_clean/d002_exempt_recorder.cpp",),
+        engine_state_files=(
+            "src/demo/e001_sidestate.cpp",
+            "src/demo_clean/e001_transition.cpp",
+        ),
     )
 
 

@@ -102,18 +102,17 @@ class Config:
     # tree that the perf gate and run reports attribute cost to. Adding an
     # algorithm/phase? Register it here so the instrumentation cannot rot.
     hot_paths: tuple[HotPath, ...] = (
-        HotPath("src/bo/mfbo.cpp", "mfbo"),
-        HotPath("src/bo/mfbo.cpp", "acq_low"),
-        HotPath("src/bo/mfbo.cpp", "acq_high"),
-        HotPath("src/bo/mfbo.cpp", "fidelity_decision"),
-        HotPath("src/bo/mfbo.cpp", "simulate_low"),
-        HotPath("src/bo/mfbo.cpp", "simulate_high"),
-        HotPath("src/bo/mfbo.cpp", "observe"),
-        HotPath("src/bo/weibo.cpp", "weibo"),
-        HotPath("src/bo/weibo.cpp", "acq_high"),
-        HotPath("src/bo/weibo.cpp", "fit_high"),
-        HotPath("src/bo/weibo.cpp", "simulate_high"),
-        HotPath("src/bo/weibo.cpp", "observe"),
+        # MFBO and WEIBO both run on the bo/engine.cpp state machine.
+        HotPath("src/bo/engine.cpp", "mfbo"),
+        HotPath("src/bo/engine.cpp", "weibo"),
+        HotPath("src/bo/engine.cpp", "acq_low"),
+        HotPath("src/bo/engine.cpp", "acq_high"),
+        HotPath("src/bo/engine.cpp", "fidelity_decision"),
+        HotPath("src/bo/engine.cpp", "simulate_low"),
+        HotPath("src/bo/engine.cpp", "simulate_high"),
+        HotPath("src/bo/engine.cpp", "observe"),
+        HotPath("src/bo/engine.cpp", "fit_high"),
+        HotPath("src/bo/engine.cpp", "fantasy"),
         HotPath("src/bo/gaspad.cpp", "gaspad"),
         HotPath("src/bo/gaspad.cpp", "acq_high"),
         HotPath("src/bo/gaspad.cpp", "fit_high"),
@@ -138,6 +137,14 @@ class Config:
         HotPath("src/opt/multistart.cpp", "multistart"),
         HotPath("src/opt/multistart.cpp", "local_search"),
     )
+
+    # E001: engine state-machine write sites. `state_` may be assigned only
+    # inside Engine::transition() — the one legality-checked, checkpointable
+    # boundary — in the files registered here. The header's member default
+    # initializer is the declaration, not a transition, so only the .cpp is
+    # listed.
+    engine_state_files: tuple[str, ...] = ("src/bo/engine.cpp",)
+    engine_transition_name: str = "transition"
 
     # O002: directories whose CMakeLists.txt must build every sibling .cpp.
     cmake_scope: tuple[str, ...] = ("src", "tests", "bench", "examples")

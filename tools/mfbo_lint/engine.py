@@ -112,12 +112,18 @@ def _parse_suppressions(comments: list[Comment]) -> list[Suppression]:
 
 
 def _all_rules() -> tuple[list[Rule], list[ProjectRule]]:
-    from mfbo_lint import rules_contracts, rules_determinism, rules_observability
+    from mfbo_lint import (
+        rules_contracts,
+        rules_determinism,
+        rules_engine,
+        rules_observability,
+    )
 
     rules = (
         rules_determinism.RULES
         + rules_contracts.RULES
         + rules_observability.RULES
+        + rules_engine.RULES
     )
     return rules, rules_observability.PROJECT_RULES
 

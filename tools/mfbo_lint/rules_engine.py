@@ -1,0 +1,65 @@
+"""E-rules: engine state-machine invariants.
+
+The bo/engine.cpp state machine serializes its full optimizer state at
+state boundaries; the checkpoint contract only holds if every state change
+funnels through Engine::transition(), where legality is checked and where
+a kill/resume harness can observe every boundary. A `state_` assignment
+anywhere else compiles fine and passes most tests — it only surfaces as a
+checkpoint that silently skips a boundary. E001 pins the write sites.
+"""
+
+from __future__ import annotations
+
+from mfbo_lint.engine import FileContext, Finding, Rule
+
+
+def _enclosing_function(ctx: FileContext, index: int):
+    """Innermost parsed function whose body contains token @p index."""
+    best = None
+    for fn in ctx.model.functions:
+        lo, hi = fn.body_range
+        if lo < index < hi and (
+            best is None or lo > best.body_range[0]
+        ):
+            best = fn
+    return best
+
+
+def check_e001(ctx: FileContext):
+    """`state_` may be assigned only inside the registered transition fn."""
+    files = getattr(ctx.config, "engine_state_files", ())
+    if not ctx.config.allowed(ctx.relpath, tuple(files)):
+        return
+    guard = getattr(ctx.config, "engine_transition_name", "transition")
+    tokens = ctx.tokens
+    for i, t in enumerate(tokens):
+        if t.kind != "id" or t.value != "state_":
+            continue
+        # Assignment: `state_ =` but not `state_ ==` (the lexer emits
+        # single-char puncts, so `==` is two `=` tokens).
+        if i + 1 >= len(tokens) or tokens[i + 1].value != "=":
+            continue
+        if tokens[i + 1].kind != "punct":
+            continue
+        if i + 2 < len(tokens) and tokens[i + 2].value == "=":
+            continue
+        fn = _enclosing_function(ctx, i)
+        if fn is None:
+            # Class/file scope: a member default initializer is the
+            # declaration of the state, not a transition.
+            continue
+        if fn.name == guard:
+            continue
+        yield Finding(
+            "E001",
+            ctx.relpath,
+            t.line,
+            f"`state_` is assigned in `{fn.qualified}`; engine state may "
+            f"only change inside `{guard}()`, where the transition is "
+            f"legality-checked and checkpointable",
+        )
+
+
+RULES = [
+    Rule("E001", "state-write-outside-transition", check_e001),
+]

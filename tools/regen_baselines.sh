@@ -20,7 +20,8 @@ if [[ ! -d "${build_dir}" ]]; then
   cmake --preset release
 fi
 cmake --build --preset release -j "$(nproc)" \
-  --target micro_gp micro_parallel micro_incremental table1_power_amplifier
+  --target micro_gp micro_parallel micro_incremental micro_batch \
+  table1_power_amplifier
 
 # Deterministic table artifact: --no-timing + fixed thread count makes the
 # bytes a function of the seed alone, and --spans pins the span-tree shape
@@ -35,6 +36,15 @@ cmake --build --preset release -j "$(nproc)" \
   --out "${out_dir}/BENCH_micro_parallel.json"
 "${build_dir}/bench/micro_incremental" --quick \
   --out "${out_dir}/BENCH_micro_incremental.json"
+
+# Deterministic batch-engine artifact plus the committed resume fixture:
+# --no-timing zeroes the wall-clock leaves, so the per-batch-size results,
+# the identity flags, and the fixture bytes are a function of the seed
+# alone. The fixture feeds tests/test_checkpoint.cpp's cross-build restore
+# test; regenerate both together so they stay in step.
+"${build_dir}/bench/micro_batch" --quick --threads 4 --no-timing \
+  --dump-checkpoint tests/fixtures/resume_fixture.json \
+  --out "${out_dir}/BENCH_micro_batch.json"
 
 # google-benchmark timings; the perf gate normalizes by a reference
 # benchmark (BM_Cholesky/64) to cancel absolute machine speed.
