@@ -202,13 +202,13 @@ Vector maximizeAcquisitionMsp(const opt::ScalarObjective& acquisition,
   // policy (random LHS / τ_l scatter / τ_h scatter / caller-provided seeds
   // such as x*_l) is only worth its cost if the non-random starts win.
   // composeStarts lays the list out as [random | τ_l | τ_h | extra].
-  static telemetry::Counter& won_random =
+  telemetry::Counter& won_random =
       telemetry::counter("bo.msp.best_start_random");
-  static telemetry::Counter& won_tau_l =
+  telemetry::Counter& won_tau_l =
       telemetry::counter("bo.msp.best_start_tau_l");
-  static telemetry::Counter& won_tau_h =
+  telemetry::Counter& won_tau_h =
       telemetry::counter("bo.msp.best_start_tau_h");
-  static telemetry::Counter& won_seed =
+  telemetry::Counter& won_seed =
       telemetry::counter("bo.msp.best_start_seed");
   const std::size_t tau_l_end = n_random + n_tau_l;  // n_tau_* are already 0
   const std::size_t tau_h_end = tau_l_end + n_tau_h;  // without an incumbent

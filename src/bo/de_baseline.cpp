@@ -27,9 +27,9 @@ SynthesisResult DeBaseline::run(Problem& problem, std::uint64_t seed) const {
   Rng rng(seed);
   const spans::ScopedSpan run_span("de");
   traceRunStart("de", problem, seed, options_.max_sims);
-  static telemetry::Counter& generations_total =
+  telemetry::Counter& generations_total =
       telemetry::counter("bo.de.generations");
-  static telemetry::Counter& replacements_total =
+  telemetry::Counter& replacements_total =
       telemetry::counter("bo.de.replacements");
 
   CostTracker tracker(problem.costRatio());

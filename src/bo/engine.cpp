@@ -8,6 +8,7 @@
 
 #include "bo/acquisition.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/spans.h"
 
 namespace mfbo::bo {
@@ -401,28 +402,49 @@ SynthesisResult Engine::takeResult() {
   return std::move(result_);
 }
 
-std::size_t Engine::evaluateRaw(const Vector& u, Fidelity f) {
+Evaluation Engine::simulate(const Vector& u, Fidelity f) {
   const bool hi = f == Fidelity::kHigh;
   const spans::ScopedSpan sim_span(hi ? "simulate_high" : "simulate_low");
   spans::addCounter(hi ? "sims_high" : "sims_low");
-  const Vector x_real = real_box_.fromUnit(u);
-  Evaluation eval = problem_->evaluate(x_real, f);
+  return problem_->evaluate(real_box_.fromUnit(u), f);
+}
+
+std::size_t Engine::recordEvaluation(const Vector& u, Fidelity f,
+                                     Evaluation eval) {
   tracker_.charge(f);
-  history_.push_back({x_real, eval, f, tracker_.cost()});
-  (hi ? high_ : low_).add(u, std::move(eval));
+  history_.push_back({real_box_.fromUnit(u), eval, f, tracker_.cost()});
+  (f == Fidelity::kHigh ? high_ : low_).add(u, std::move(eval));
   return history_.size() - 1;
 }
 
-void Engine::evaluateSlot(ProposedSlot& slot) {
-  slot.history_index = evaluateRaw(slot.x, slot.fidelity);
-  slot.dataset_index =
-      (slot.fidelity == Fidelity::kHigh ? high_ : low_).size() - 1;
-  slot.evaluated = true;
+std::size_t Engine::evaluateRaw(const Vector& u, Fidelity f) {
+  return recordEvaluation(u, f, simulate(u, f));
 }
 
 void Engine::handleAwaitResults() {
+  // The batch's simulations run as pool tasks: each is an independent pure
+  // evaluation whose input was fixed at propose time, written into a
+  // slot-indexed output. The stateful bookkeeping — cost meter, history,
+  // archives — then replays serially in slot order, i.e. in exactly the
+  // order the sequential loop produced, so results are byte-identical at
+  // any thread count. This is also the engine's cooperative-yield point
+  // for the session layer: a q-slot batch occupies the pool for one region
+  // and then returns to the scheduler.
+  std::vector<ProposedSlot*> todo;
   for (ProposedSlot& slot : pending_)
-    if (!slot.evaluated) evaluateSlot(slot);
+    if (!slot.evaluated) todo.push_back(&slot);
+  std::vector<Evaluation> evals(todo.size());
+  parallel::parallelFor(todo.size(), [&](std::size_t i) {
+    evals[i] = simulate(todo[i]->x, todo[i]->fidelity);
+  });
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    ProposedSlot& slot = *todo[i];
+    slot.history_index =
+        recordEvaluation(slot.x, slot.fidelity, std::move(evals[i]));
+    slot.dataset_index =
+        (slot.fidelity == Fidelity::kHigh ? high_ : low_).size() - 1;
+    slot.evaluated = true;
+  }
   transition(EngineState::kObserve);
 }
 
@@ -871,9 +893,9 @@ void MfboEngine::handleFitSurrogate() {
 }
 
 void MfboEngine::handlePropose() {
-  static telemetry::Counter& iterations_total =
+  telemetry::Counter& iterations_total =
       telemetry::counter("bo.mfbo.iterations");
-  static telemetry::Timer& iteration_timer =
+  telemetry::Timer& iteration_timer =
       telemetry::timer("bo.mfbo.iteration_seconds");
   // Inputs proposed earlier in this batch; slot s dedupes against them so a
   // fantasy cannot re-propose (and singularize) an unevaluated sibling.
@@ -900,7 +922,7 @@ ProposedSlot MfboEngine::proposeSlot(std::size_t slot_index,
                                      const Dataset& pending_points) {
   MFBO_DCHECK(slot_index < options_.batch_size, "slot ", slot_index,
               " out of range for batch size ", options_.batch_size);
-  static telemetry::Counter& downgrades_total =
+  telemetry::Counter& downgrades_total =
       telemetry::counter("bo.mfbo.budget_downgrades");
   const Models& models = activeModels();
 
@@ -1290,7 +1312,7 @@ void WeiboEngine::handleFitSurrogate() {
 }
 
 void WeiboEngine::handlePropose() {
-  static telemetry::Counter& iterations_total =
+  telemetry::Counter& iterations_total =
       telemetry::counter("bo.weibo.iterations");
   ++iteration_;
   iterations_total.add();

@@ -108,6 +108,10 @@ class Engine {
   EngineState state() const { return state_; }
   bool done() const { return state_ == EngineState::kDone; }
 
+  /// Stable algorithm tag ("mfbo", "weibo"): names the run span, the trace
+  /// events, and the session-layer artifacts (src/service).
+  const char* algo() const { return algoName(); }
+
   /// Execute the current state's handler and advance. Not callable once
   /// Done.
   void step();
@@ -170,12 +174,18 @@ class Engine {
   void handleAwaitResults();
   void handleObserve();
 
-  /// Evaluate one point: spans, sim counters, cost charge, history and
-  /// archive append — the single evaluation path for init and iterations.
+  /// The stateless half of an evaluation: simulator span + sim counter +
+  /// Problem::evaluate. Safe to run as a pool task — it touches no engine
+  /// state, and Problem::evaluate is reentrant by contract — which is how
+  /// handleAwaitResults fans a batch out over the shared pool.
+  Evaluation simulate(const Vector& u, Fidelity f);
+  /// The stateful half: cost charge, history row, archive append. Serial
+  /// only; called in slot order so the records match the sequential loop.
   /// Returns the history row index.
+  std::size_t recordEvaluation(const Vector& u, Fidelity f, Evaluation eval);
+  /// simulate + recordEvaluation in one call — the serial evaluation path
+  /// used by the init designs.
   std::size_t evaluateRaw(const Vector& u, Fidelity f);
-  /// evaluateRaw for a pending slot, recording its bookkeeping indices.
-  void evaluateSlot(ProposedSlot& slot);
 
   /// Tail of every FitSurrogate handler: archive the completed batch,
   /// close the iteration timer, and advance on the remaining budget.

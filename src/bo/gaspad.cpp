@@ -42,9 +42,9 @@ SynthesisResult Gaspad::run(Problem& problem, std::uint64_t seed) const {
   Rng rng(seed);
   const spans::ScopedSpan run_span("gaspad");
   traceRunStart("gaspad", problem, seed, options_.max_sims);
-  static telemetry::Counter& iterations_total =
+  telemetry::Counter& iterations_total =
       telemetry::counter("bo.gaspad.iterations");
-  static telemetry::Counter& children_total =
+  telemetry::Counter& children_total =
       telemetry::counter("bo.gaspad.children_screened");
 
   CostTracker tracker(problem.costRatio());

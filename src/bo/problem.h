@@ -56,6 +56,10 @@ class Problem {
   /// Design-variable bounds.
   virtual Box bounds() const = 0;
   /// Evaluate the black box at @p x (must lie inside bounds()).
+  /// Reentrancy contract: the engine fans a proposal batch's evaluations
+  /// out over the shared thread pool (bo/engine.cpp), so concurrent calls
+  /// on one instance must be safe — implementations are pure functions of
+  /// (x, fidelity) and keep no per-call mutable state.
   virtual Evaluation evaluate(const Vector& x, Fidelity fidelity) = 0;
   /// cost(high) / cost(low); must be ≥ 1.
   virtual double costRatio() const = 0;

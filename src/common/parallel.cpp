@@ -12,6 +12,7 @@
 #include "common/check.h"
 #include "common/memstats.h"
 #include "common/spans.h"
+#include "common/telemetry.h"
 
 namespace mfbo {
 namespace parallel {
@@ -30,6 +31,11 @@ struct Job {
   std::size_t grain = 1;
   std::size_t chunks_total = 0;
   std::size_t worker_cap = 0;  ///< pool workers allowed in (caller excluded)
+
+  /// The caller's active metrics registry at submission time. Workers
+  /// install it for the job's duration so telemetry bumped inside bodies
+  /// lands in the scoping session's registry (common/telemetry.h).
+  telemetry::MetricsRegistry* metrics_registry = nullptr;
 
   std::atomic<std::size_t> next{0};     ///< next unclaimed index
   std::atomic<std::size_t> entered{0};  ///< workers that joined this job
@@ -106,6 +112,7 @@ class Pool {
       job->grain = grain;
       job->chunks_total = (n + grain - 1) / grain;
       job->worker_cap = threads - 1;
+      job->metrics_registry = telemetry::detail::activeRegistry();
 
       const std::lock_guard<std::mutex> lock(mu_);
       ensureWorkersLocked(job->worker_cap);
@@ -173,6 +180,11 @@ class Pool {
       if (job != nullptr &&
           job->entered.fetch_add(1, std::memory_order_relaxed) <
               job->worker_cap) {
+        // Resolve telemetry against the caller's registry for the job's
+        // duration: a session's parallel bodies must bump the session's
+        // counters, not whichever registry this shared worker last saw.
+        telemetry::MetricsRegistry* const saved_registry =
+            telemetry::detail::exchangeActiveRegistry(job->metrics_registry);
         // Record this worker's spans into a private arena handed back to
         // the caller with (and under the same lock as) the completion
         // count, so the caller's done_cv wait covers the span hand-off.
@@ -180,6 +192,7 @@ class Pool {
             spans::detail::beginWorkerCapture();
         const std::size_t executed = drainJob(*job);
         spans::SpanNode* tree = spans::detail::endWorkerCapture(capture);
+        telemetry::detail::exchangeActiveRegistry(saved_registry);
         bool complete = false;
         {
           // The hand-off vector is pool machinery, not workload memory.
@@ -234,6 +247,12 @@ std::size_t maxThreads() {
 }
 
 void setMaxThreads(std::size_t n) {
+  // Between regions the override is a plain atomic store re-read at the
+  // next region start; from *inside* a region it would be a request to
+  // resize the pool mid-flight, which has no coherent meaning — reject it
+  // rather than silently apply it to an unpredictable set of regions.
+  MFBO_CHECK(!inParallelRegion(),
+             "setMaxThreads may not be called from inside a parallel region");
   g_thread_override.store(n, std::memory_order_relaxed);
 }
 
@@ -248,8 +267,19 @@ void parallelForChunked(std::size_t n, std::size_t grain,
   const std::size_t threads = maxThreads();
   if (threads <= 1 || n <= grain || t_in_region) {
     // Serial reference path: one call covering the whole range, so
-    // per-chunk scratch setup is paid exactly once.
-    body(0, n);
+    // per-chunk scratch setup is paid exactly once. It is still a region —
+    // the setMaxThreads() rejection contract must not depend on the thread
+    // count — so mark it for the body's duration (restoring the prior
+    // value: nested regions land here with the flag already set).
+    const bool was_in_region = t_in_region;
+    t_in_region = true;
+    try {
+      body(0, n);
+    } catch (...) {
+      t_in_region = was_in_region;
+      throw;
+    }
+    t_in_region = was_in_region;
     return;
   }
   Pool::instance().run(n, grain, body, threads);

@@ -24,6 +24,11 @@
 //     (or from the caller's share of an active region) executes inline on
 //     the current thread, so composed parallel code cannot deadlock or
 //     oversubscribe.
+//   * Telemetry scope propagation. The caller's active metrics registry
+//     (telemetry::TelemetryScope) is captured per region and installed on
+//     every worker for the job's duration, so counters bumped inside
+//     parallel bodies land in the scoping session's registry — not the
+//     global one — even though the pool threads are shared by all sessions.
 //
 // Thread count resolution, per region: setMaxThreads(n) override (the bench
 // --threads flag) > the MFBO_THREADS environment variable > hardware
@@ -50,8 +55,12 @@ using RangeBody = std::function<void(std::size_t, std::size_t)>;
 std::size_t maxThreads();
 
 /// Override the thread count for subsequent regions; 0 restores automatic
-/// resolution (MFBO_THREADS / hardware). Not safe to call concurrently with
-/// an active region.
+/// resolution (MFBO_THREADS / hardware). The count is re-resolved at every
+/// region start, so calling this *between* regions — even while other
+/// sessions are mid-run — is safe and takes effect at the next region.
+/// Calling it from inside a parallel region (a pool worker or a parallelFor
+/// body) is rejected with ContractViolation: a region resizing the pool
+/// that is executing it has no coherent meaning.
 void setMaxThreads(std::size_t n);
 
 /// True on a pool worker, or on the caller while it executes its share of

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/memstats.h"
 #include "common/timeline.h"
 
@@ -248,6 +249,52 @@ void reset() {
   // resets: while profiling is on, this thread must never hit the lazy
   // ensureRoot mark resync in the middle of workload code.
   if (enabled()) state.ensureRoot();
+}
+
+SpanArena::SpanArena() = default;
+
+SpanArena::~SpanArena() {
+  const memstats::PauseScope pause;
+  delete root_;
+}
+
+ArenaScope::ArenaScope(SpanArena& arena) {
+  if (!enabled()) return;
+  ThreadState& state = threadState();
+  state.ensureRoot();
+  MFBO_CHECK(state.current == state.root,
+             "ArenaScope: cannot install a span arena while a span is open");
+  // The pending allocation delta happened under the previous tree; flush it
+  // there before the swap so the session never inherits foreign bytes.
+  flushAllocations(state);
+  const memstats::PauseScope pause;
+  if (arena.root_ == nullptr) arena.root_ = new SpanNode("root", nullptr);
+  arena_ = &arena;
+  saved_root_ = state.root;
+  saved_current_ = state.current;
+  state.owned_root.release();
+  state.owned_root.reset(arena.root_);
+  state.root = arena.root_;
+  state.current = arena.root_;
+  state.alloc_mark = memstats::threadCounters();
+}
+
+ArenaScope::~ArenaScope() noexcept(false) {
+  if (arena_ == nullptr) return;
+  ThreadState& state = threadState();
+  MFBO_CHECK(state.current == state.root,
+             "ArenaScope: a span is still open at arena uninstall");
+  // The session's tail (allocations since its last span closed) belongs to
+  // the session root, not to the restored thread tree.
+  flushAllocations(state);
+  const memstats::PauseScope pause;
+  // reset() may have replaced the tree while installed; re-adopt whatever
+  // root the thread holds now so the arena never dangles.
+  arena_->root_ = state.owned_root.release();
+  state.owned_root.reset(saved_root_);
+  state.root = saved_root_;
+  state.current = saved_current_;
+  state.alloc_mark = memstats::threadCounters();
 }
 
 namespace detail {

@@ -1,10 +1,8 @@
 // mfbo — hierarchical span profiler with phase attribution.
 //
-// The paper's headline claim is wall-clock efficiency: cheap low-fidelity
-// simulations plus the eq. (11)/(12) fidelity criterion shift cost away
-// from expensive evaluations. Flat counters and timers (common/telemetry.h)
-// cannot answer *where* an iteration's time goes — GP refit, the NARGP
-// eq. (10) MC integration, the MSP acquisition search, or the simulator —
+// The paper's headline claim is wall-clock efficiency. Flat counters and
+// timers (common/telemetry.h) cannot answer *where* an iteration's time
+// goes — GP refit, MC integration, the MSP search, or the simulator —
 // because they have no notion of nesting. This header adds the structure:
 //
 //   * ScopedSpan — RAII frame on a thread-local span stack. Spans with the
@@ -22,21 +20,23 @@
 //     to the innermost span as `alloc_count`/`alloc_bytes`. The profiler's
 //     own allocations run under memstats::PauseScope, so the values are
 //     workload-only, deterministic, and merge like user counters.
-//   * Timeline dispatch — ScopedSpan also serves the opt-in timeline
-//     recorder (common/timeline.h): while a recording is active each span
-//     open/close emits a begin/end trace event. Both features share one
-//     flags word, so the disabled fast path is still a single relaxed load.
-//   * Deterministic under the parallel pool — bodies running on pool
-//     workers record into per-thread arenas that common/parallel.h merges
-//     into the *calling thread's* innermost span at region end (the
-//     detail:: hooks below). Counts and counters aggregate identically at
-//     any thread count; with timing omitted, snapshots are byte-identical
-//     at 1 and N threads (children and counters serialize sorted by name).
+//   * Timeline dispatch — while a recording (common/timeline.h) is active
+//     each span open/close emits a begin/end trace event; both features
+//     share one flags word, so the disabled path stays one relaxed load.
+//   * Deterministic under the parallel pool — pool workers record into
+//     per-thread arenas that common/parallel.h merges into the *calling
+//     thread's* innermost span at region end (the detail:: hooks below);
+//     with timing omitted, snapshots are byte-identical at 1 and N
+//     threads (children and counters serialize sorted by name).
+//   * Session arenas — a SpanArena is a span tree owned by a *session*;
+//     an ArenaScope makes it the calling thread's recording target
+//     (flushing the allocation mark at both swap boundaries). The service
+//     layer installs one per session step, keeping N interleaved sessions'
+//     trees — worker captures included — byte-identical to solo runs.
 //
-// Contract: enable/disable only while no span is open on any thread (in
-// practice: before the run, from the bench/test harness). Span names must
-// be string literals or otherwise outlive the process — nodes store the
-// pointer.
+// Contract: enable/disable only while no span is open and no ArenaScope is
+// installed (before the run, from the harness). Span names must outlive
+// the process — nodes store the pointer.
 #pragma once
 
 #include <chrono>
@@ -100,6 +100,46 @@ Json snapshot(bool include_timing = true);
 /// Discard the calling thread's span tree (keeps the enabled flag). Call
 /// only while no span is open on this thread.
 void reset();
+
+/// A span tree owned by a session rather than a thread. The tree persists
+/// across ArenaScope installs, so a session stepped many times — possibly
+/// interleaved with other sessions on the same thread — accumulates one
+/// continuous tree, exactly as if it had run solo. Inert (and empty) while
+/// the profiler is disabled.
+class SpanArena {
+ public:
+  SpanArena();
+  ~SpanArena();
+  SpanArena(const SpanArena&) = delete;
+  SpanArena& operator=(const SpanArena&) = delete;
+
+ private:
+  friend class ArenaScope;
+  SpanNode* root_ = nullptr;  ///< owned; lazily created at first install
+};
+
+/// RAII arena swap: while alive, the calling thread records spans, span
+/// counters, and allocation attribution into @p arena instead of its own
+/// tree (snapshot()/reset() operate on the installed arena too). The
+/// allocation mark is flushed at both boundaries — the pending delta before
+/// installation is attributed to the previous tree, the session tail at
+/// uninstall to the arena root — so two sessions interleaving on one thread
+/// (or on shared pool workers, whose captures merge into the installed
+/// arena at region end) never cross-charge a byte. Requires no open span at
+/// either boundary (MFBO_CHECK) and does not nest-own: the arena must
+/// outlive the scope. No-op while the profiler is disabled.
+class ArenaScope {
+ public:
+  explicit ArenaScope(SpanArena& arena);
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+  ~ArenaScope() noexcept(false);
+
+ private:
+  SpanArena* arena_ = nullptr;  ///< null when installed while disabled
+  SpanNode* saved_root_ = nullptr;
+  SpanNode* saved_current_ = nullptr;
+};
 
 namespace detail {
 

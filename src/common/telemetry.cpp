@@ -18,8 +18,8 @@ namespace {
 
 /// Name-keyed metric store. std::map keeps snapshots sorted (deterministic
 /// artifact output); unique_ptr keeps references stable across rehashing.
-/// Lookups and traversals lock: parallel workers may hit get() through the
-/// function-local `static Metric&` initializers of instrumentation sites.
+/// Lookups and traversals lock: parallel workers resolve get() through the
+/// function-local `Metric&` lookups of instrumentation sites.
 template <typename Metric>
 class Registry {
  public:
@@ -55,27 +55,107 @@ class Registry {
   std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics_;
 };
 
-Registry<Counter>& counters() {
-  static Registry<Counter> registry;
-  return registry;
-}
-
-Registry<Gauge>& gauges() {
-  static Registry<Gauge> registry;
-  return registry;
-}
-
-Registry<Timer>& timers() {
-  static Registry<Timer> registry;
-  return registry;
-}
-
 std::atomic<TraceSink*>& sinkSlot() {
   static std::atomic<TraceSink*> sink{nullptr};
   return sink;
 }
 
+/// The calling thread's scoped registry, nullptr meaning globalMetrics().
+/// Stored raw (not resolved) so nested scopes restore exactly.
+thread_local MetricsRegistry* t_active_registry = nullptr;
+
 }  // namespace
+
+struct MetricsRegistry::Impl {
+  Registry<Counter> counters;
+  Registry<Gauge> gauges;
+  Registry<Timer> timers;
+};
+
+MetricsRegistry::MetricsRegistry() {
+  // The registry skeleton itself is observability overhead, not workload
+  // memory (sessions construct theirs inside instrumented scopes).
+  const memstats::PauseScope alloc_pause;
+  impl_ = std::make_unique<Impl>();
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return impl_->counters.get(name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return impl_->gauges.get(name);
+}
+
+Timer& MetricsRegistry::timer(std::string_view name) {
+  return impl_->timers.get(name);
+}
+
+void MetricsRegistry::reset() {
+  impl_->counters.resetAll();
+  impl_->gauges.resetAll();
+  impl_->timers.resetAll();
+}
+
+Json MetricsRegistry::metricsJson(bool include_timers) const {
+  // Snapshot construction allocates heavily; none of it is workload memory.
+  const memstats::PauseScope alloc_pause;
+  Json snapshot = Json::object();
+  Json counter_obj = Json::object();
+  impl_->counters.forEach([&](const std::string& name, const Counter& c) {
+    counter_obj.set(name, Json::number(static_cast<double>(c.value())));
+  });
+  Json gauge_obj = Json::object();
+  impl_->gauges.forEach([&](const std::string& name, const Gauge& g) {
+    gauge_obj.set(name, Json::number(g.value()));
+  });
+  snapshot.set("counters", std::move(counter_obj));
+  snapshot.set("gauges", std::move(gauge_obj));
+  if (include_timers) {
+    Json timer_obj = Json::object();
+    impl_->timers.forEach([&](const std::string& name, const Timer& t) {
+      Json entry = Json::object();
+      entry.set("count", Json::number(static_cast<double>(t.count())));
+      entry.set("total_s", Json::number(t.totalSeconds()));
+      entry.set("min_s", Json::number(t.minSeconds()));
+      entry.set("p50_s", Json::number(t.quantileSeconds(0.50)));
+      entry.set("p95_s", Json::number(t.quantileSeconds(0.95)));
+      entry.set("max_s", Json::number(t.maxSeconds()));
+      timer_obj.set(name, std::move(entry));
+    });
+    snapshot.set("timers", std::move(timer_obj));
+  }
+  return snapshot;
+}
+
+MetricsRegistry& globalMetrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+TelemetryScope::TelemetryScope(MetricsRegistry& registry)
+    : previous_(detail::exchangeActiveRegistry(&registry)) {}
+
+TelemetryScope::~TelemetryScope() {
+  detail::exchangeActiveRegistry(previous_);
+}
+
+namespace detail {
+
+MetricsRegistry* activeRegistry() {
+  return t_active_registry != nullptr ? t_active_registry : &globalMetrics();
+}
+
+// mfbo-lint: allow(C001) — nullptr is the documented "back to global" value
+MetricsRegistry* exchangeActiveRegistry(MetricsRegistry* registry) {
+  MetricsRegistry* previous = t_active_registry;
+  t_active_registry = registry;
+  return previous;
+}
+
+}  // namespace detail
 
 void Timer::record(double seconds) {
   // Reservoir growth is observability overhead; which thread happens to
@@ -147,37 +227,21 @@ void Timer::reset() {
   samples_.clear();
 }
 
-Counter& counter(std::string_view name) { return counters().get(name); }
-Gauge& gauge(std::string_view name) { return gauges().get(name); }
-Timer& timer(std::string_view name) { return timers().get(name); }
+Counter& counter(std::string_view name) {
+  return detail::activeRegistry()->counter(name);
+}
+Gauge& gauge(std::string_view name) {
+  return detail::activeRegistry()->gauge(name);
+}
+Timer& timer(std::string_view name) {
+  return detail::activeRegistry()->timer(name);
+}
 
 Json metricsSnapshot(bool include_timers) {
   // Snapshot construction allocates heavily; none of it is workload memory.
   const memstats::PauseScope alloc_pause;
-  Json snapshot = Json::object();
-  Json counter_obj = Json::object();
-  counters().forEach([&](const std::string& name, const Counter& c) {
-    counter_obj.set(name, Json::number(static_cast<double>(c.value())));
-  });
-  Json gauge_obj = Json::object();
-  gauges().forEach([&](const std::string& name, const Gauge& g) {
-    gauge_obj.set(name, Json::number(g.value()));
-  });
-  snapshot.set("counters", std::move(counter_obj));
-  snapshot.set("gauges", std::move(gauge_obj));
+  Json snapshot = detail::activeRegistry()->metricsJson(include_timers);
   if (include_timers) {
-    Json timer_obj = Json::object();
-    timers().forEach([&](const std::string& name, const Timer& t) {
-      Json entry = Json::object();
-      entry.set("count", Json::number(static_cast<double>(t.count())));
-      entry.set("total_s", Json::number(t.totalSeconds()));
-      entry.set("min_s", Json::number(t.minSeconds()));
-      entry.set("p50_s", Json::number(t.quantileSeconds(0.50)));
-      entry.set("p95_s", Json::number(t.quantileSeconds(0.95)));
-      entry.set("max_s", Json::number(t.maxSeconds()));
-      timer_obj.set(name, std::move(entry));
-    });
-    snapshot.set("timers", std::move(timer_obj));
     // The kernel's high-water mark, like the timers, is real-machine state:
     // meaningful for a human, nondeterministic by nature, and therefore
     // only present when the wall-clock sections are.
@@ -189,11 +253,7 @@ Json metricsSnapshot(bool include_timers) {
   return snapshot;
 }
 
-void resetMetrics() {
-  counters().resetAll();
-  gauges().resetAll();
-  timers().resetAll();
-}
+void resetMetrics() { detail::activeRegistry()->reset(); }
 
 TraceWriter::TraceWriter(const std::string& path)
     : stream_(std::fopen(path.c_str(), "w")), owns_stream_(true) {
@@ -224,8 +284,10 @@ void TraceWriter::write(const Json& event) {
     return;
   }
   ++write_errors_;
-  static Counter& errors = counter("telemetry.trace_write_errors");
-  errors.add();
+  // Trace plumbing is process infrastructure, not session workload: the
+  // error count belongs to the global registry no matter which session's
+  // scope happens to be active on the failing thread.
+  globalMetrics().counter("telemetry.trace_write_errors").add();
   if (!warned_) {
     warned_ = true;
     std::fprintf(stderr,

@@ -1,4 +1,4 @@
-// mfbo — process-wide telemetry: metrics registry and structured tracing.
+// mfbo — telemetry: scoped metrics registries and structured tracing.
 //
 // The BO loop makes every interesting decision silently — the eq. (11)/(12)
 // fidelity choice, MSP restart outcomes, first-feasible switching, Cholesky
@@ -7,12 +7,20 @@
 // observability primitives the rest of the library hooks into:
 //
 //   * Metrics — named monotonic Counters, Gauges, and Timer histograms in a
-//     process-wide registry. Instrumentation sites hold a `static` reference
-//     (one registry lookup per process), so the steady-state cost of a
-//     counter bump is a single add. `metricsSnapshot()` serializes the whole
-//     registry to JSON for the bench `--out` artifacts; `resetMetrics()`
-//     zeroes values (references stay valid) so tests and repeated bench runs
-//     can isolate measurements.
+//     MetricsRegistry. There is one process-wide default registry
+//     (globalMetrics()); a TelemetryScope temporarily points the calling
+//     thread's free counter()/gauge()/timer() lookups at a private registry
+//     instead, which is how the session layer (src/service) keeps N
+//     concurrent engines from interleaving their counters in one shared
+//     store. Instrumentation sites look their metric up once per *call*
+//     (a function-local reference), never once per *process*: a cached
+//     `static Metric&` would pin whichever registry happened to be active
+//     at first touch forever, which is exactly the cross-session
+//     interleaving bug the scoping exists to fix (lint rule D005 rejects
+//     the static form). `metricsSnapshot()` serializes the active registry
+//     to JSON for the bench `--out` artifacts; `resetMetrics()` zeroes its
+//     values (references stay valid) so tests and repeated bench runs can
+//     isolate measurements.
 //
 //   * Tracing — structured events (JSON objects) routed to an installable
 //     TraceSink. The default sink is null: `traceEnabled()` is a single
@@ -36,6 +44,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -108,18 +117,93 @@ class Timer {
   std::vector<double> samples_;
 };
 
-/// Registry lookup; creates the metric on first use. The returned reference
-/// stays valid for the lifetime of the process (resetMetrics() zeroes values
-/// without invalidating references), so hot call sites cache it:
+/// An isolated named-metric store. Lookups create the metric on first use
+/// and return references that stay valid for the registry's lifetime
+/// (reset() zeroes values without invalidating references). The process has
+/// one default instance — globalMetrics() — backing the free
+/// counter()/gauge()/timer() functions; the session layer gives every
+/// concurrent optimization run a private instance via TelemetryScope so
+/// snapshots never mix two runs' counters.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  /// Zero every registered metric (references stay valid).
+  void reset();
+
+  /// Serialize this registry's metrics, sorted by name:
+  /// {"counters":{...},"gauges":{...},
+  ///  "timers":{name:{count,total_s,min_s,p50_s,p95_s,max_s}}}.
+  /// With include_timers=false the wall-clock "timers" section is omitted;
+  /// counters and gauges are deterministic for a fixed seed at any thread
+  /// count, so the remaining document is byte-reproducible.
+  Json metricsJson(bool include_timers) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide default registry: what counter()/gauge()/timer()
+/// resolve against when no TelemetryScope is active on the calling thread.
+MetricsRegistry& globalMetrics();
+
+/// RAII registry scoping: while alive, the constructing thread's free
+/// counter()/gauge()/timer()/metricsSnapshot()/resetMetrics() calls resolve
+/// against @p registry instead of globalMetrics(). Scopes nest (restore the
+/// previous registry on destruction) and are thread-local — the parallel
+/// pool propagates the active registry into its workers per region, so
+/// instrumentation inside parallelFor bodies lands in the scoping session's
+/// registry too (common/parallel.cpp). The registry is borrowed, not owned:
+/// it must outlive the scope and every reference handed out through it.
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(MetricsRegistry& registry);
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+  ~TelemetryScope();
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+namespace detail {
+/// Registry the calling thread currently resolves metrics against:
+/// the innermost TelemetryScope's registry, or globalMetrics() without one.
+/// The parallel pool captures this at region submission and installs it on
+/// its workers for the duration of the region (common/parallel.cpp).
+MetricsRegistry* activeRegistry();
+/// Install @p registry (nullptr = back to globalMetrics()) as the calling
+/// thread's active registry; returns the previous raw slot value for
+/// restoration. Used by TelemetryScope and the pool workers only.
+MetricsRegistry* exchangeActiveRegistry(MetricsRegistry* registry);
+}  // namespace detail
+
+/// Lookup in the calling thread's active registry; creates the metric on
+/// first use. The reference stays valid for the registry's lifetime, so a
+/// call site that bumps in a loop hoists the lookup into a *function-local*
+/// reference:
 ///
-///   static telemetry::Counter& retries =
+///   telemetry::Counter& retries =
 ///       telemetry::counter("linalg.cholesky.jitter_retries");
 ///   retries.add();
+///
+/// Never cache the reference in a `static` — that pins whichever registry
+/// was active at first call for the process lifetime, silently routing
+/// later sessions' metrics into the wrong store (lint rule D005).
 Counter& counter(std::string_view name);
 Gauge& gauge(std::string_view name);
 Timer& timer(std::string_view name);
 
-/// Serialize every registered metric, sorted by name:
+/// Serialize the active registry (MetricsRegistry::metricsJson) and append
+/// process-level observability state:
 /// {"counters":{...},"gauges":{...},
 ///  "timers":{name:{count,total_s,min_s,p50_s,p95_s,max_s}},
 ///  "peak_rss_bytes":...}.
@@ -133,7 +217,7 @@ Timer& timer(std::string_view name);
 /// --no-timing artifacts rely on this).
 Json metricsSnapshot(bool include_timers = true);
 
-/// Zero every registered metric (references stay valid).
+/// Zero every metric in the active registry (references stay valid).
 void resetMetrics();
 
 /// RAII wall-clock timer recording into a Timer on destruction.

@@ -156,9 +156,9 @@ void stop() {
   ok = std::fputc('\n', stream) != EOF && ok;
   ok = std::fclose(stream) == 0 && ok;
   if (!ok) {
-    static telemetry::Counter& errors =
-        telemetry::counter("timeline.write_errors");
-    errors.add();
+    // Timeline plumbing is process infrastructure, not session workload:
+    // record the failure globally regardless of any active TelemetryScope.
+    telemetry::globalMetrics().counter("timeline.write_errors").add();
     std::fprintf(stderr, "mfbo: timeline write failed: %s\n", path.c_str());
   }
 }

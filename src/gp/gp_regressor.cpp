@@ -109,9 +109,9 @@ void GpRegressor::addPoint(const Vector& x, double y, bool retrain) {
     train(/*warm_start=*/true);
     return;
   }
-  static telemetry::Counter& incremental_updates =
+  telemetry::Counter& incremental_updates =
       telemetry::counter("gp.addpoint_incremental");
-  static telemetry::Counter& incremental_fallbacks =
+  telemetry::Counter& incremental_fallbacks =
       telemetry::counter("gp.addpoint_incremental_fallback");
   if (config_.incremental && chol_ != nullptr &&
       chol_->dim() + 1 == x_.size() && y_std_.size() + 1 == x_.size() &&
@@ -154,15 +154,15 @@ void GpRegressor::validateData(const std::vector<Vector>& x,
 }
 
 void GpRegressor::train(bool warm_start) {
-  static telemetry::Counter& fit_calls = telemetry::counter("gp.fit_calls");
-  static telemetry::Counter& nlml_evals = telemetry::counter("gp.nlml_evals");
-  static telemetry::Counter& poisoned_not_pd =
+  telemetry::Counter& fit_calls = telemetry::counter("gp.fit_calls");
+  telemetry::Counter& nlml_evals = telemetry::counter("gp.nlml_evals");
+  telemetry::Counter& poisoned_not_pd =
       telemetry::counter("gp.train.poisoned_not_pd");
-  static telemetry::Counter& poisoned_nonfinite =
+  telemetry::Counter& poisoned_nonfinite =
       telemetry::counter("gp.train.poisoned_nonfinite");
-  static telemetry::Counter& fallback_prior =
+  telemetry::Counter& fallback_prior =
       telemetry::counter("gp.train.fallback_to_prior");
-  static telemetry::Timer& fit_timer = telemetry::timer("gp.fit_seconds");
+  telemetry::Timer& fit_timer = telemetry::timer("gp.fit_seconds");
   fit_calls.add();
   const telemetry::ScopedTimer fit_scope(fit_timer);
   const spans::ScopedSpan train_span("gp_train");

@@ -51,11 +51,11 @@ Cholesky Cholesky::factorWithJitter(const Matrix& a, double initial_jitter,
   if (tryFactor(a, 0.0, l)) return Cholesky(std::move(l), 0.0);
   // Invisible-at-runtime numerics made visible: every rung of the jitter
   // ladder is a near-singular Gram matrix the GP layer had to paper over.
-  static telemetry::Counter& jittered =
+  telemetry::Counter& jittered =
       telemetry::counter("linalg.cholesky.jittered_factorizations");
-  static telemetry::Counter& retries =
+  telemetry::Counter& retries =
       telemetry::counter("linalg.cholesky.jitter_retries");
-  static telemetry::Counter& exhausted =
+  telemetry::Counter& exhausted =
       telemetry::counter("linalg.cholesky.jitter_exhausted");
   jittered.add();
   // Scale jitter relative to the mean diagonal so the retry ladder is
@@ -81,9 +81,9 @@ bool Cholesky::appendRow(const Vector& b, double c) {
   MFBO_CHECK(b.allFinite() && std::isfinite(c),
              "extension column has non-finite entries");
   const spans::ScopedSpan append_span("cholesky_append");
-  static telemetry::Counter& appended =
+  telemetry::Counter& appended =
       telemetry::counter("linalg.cholesky.appended_rows");
-  static telemetry::Counter& rejected =
+  telemetry::Counter& rejected =
       telemetry::counter("linalg.cholesky.append_rejected");
   // New off-diagonal row: l = L⁻¹ b (forward substitution, O(n²)); new
   // pivot: c + jitter − ‖l‖². Identical arithmetic to what tryFactor would

@@ -65,7 +65,7 @@ void NargpModel::addLow(const Vector& x, double y, bool retrain) {
   // drift in the frozen training augmentation is folded in at the next
   // retrain. The eq. (10) draws are reused so the fused acquisition
   // surface stays fixed between model updates.
-  static telemetry::Counter& frozen_low =
+  telemetry::Counter& frozen_low =
       telemetry::counter("mf.nargp.incremental_add_low");
   frozen_low.add();
 }
@@ -82,7 +82,7 @@ void NargpModel::addHigh(const Vector& x, double y, bool retrain) {
   // Non-retrain fast path: existing rows keep their frozen augmentation;
   // only the new row is augmented (with the current µ_l) and appended to
   // the high GP's factor in O(n²). Draws are reused as in addLow.
-  static telemetry::Counter& incremental_high =
+  telemetry::Counter& incremental_high =
       telemetry::counter("mf.nargp.incremental_add_high");
   incremental_high.add();
   const spans::ScopedSpan fit_high_span("fit_high");
@@ -91,7 +91,7 @@ void NargpModel::addHigh(const Vector& x, double y, bool retrain) {
 }
 
 void NargpModel::rebuildHigh(bool retrain) {
-  static telemetry::Timer& fuse_timer =
+  telemetry::Timer& fuse_timer =
       telemetry::timer("mf.nargp.fuse_seconds");
   const telemetry::ScopedTimer fuse_scope(fuse_timer);
   const spans::ScopedSpan fit_high_span("fit_high");
@@ -119,11 +119,11 @@ Prediction NargpModel::predictHigh(const Vector& x) const {
   MFBO_CHECK(high_gp_.fitted(), "model is not fitted");
   MFBO_DCHECK(x.size() == x_dim_, "input dim ", x.size(),
               " does not match x_dim ", x_dim_);
-  static telemetry::Counter& predict_calls =
+  telemetry::Counter& predict_calls =
       telemetry::counter("mf.nargp.predict_high_calls");
-  static telemetry::Counter& mc_samples =
+  telemetry::Counter& mc_samples =
       telemetry::counter("mf.nargp.mc_samples");
-  static telemetry::Timer& predict_timer =
+  telemetry::Timer& predict_timer =
       telemetry::timer("mf.nargp.predict_high_seconds");
   predict_calls.add();
   mc_samples.add(config_.n_mc);

@@ -11,13 +11,13 @@ OptResult multistartMinimize(const ScalarObjective& f,
                              const std::vector<Vector>& starts, const Box& box,
                              const MultistartOptions& options) {
   MFBO_CHECK(!starts.empty(), "no starting points");
-  static telemetry::Counter& msp_runs =
+  telemetry::Counter& msp_runs =
       telemetry::counter("opt.multistart.runs");
-  static telemetry::Counter& msp_starts =
+  telemetry::Counter& msp_starts =
       telemetry::counter("opt.multistart.starts");
-  static telemetry::Counter& msp_iterations =
+  telemetry::Counter& msp_iterations =
       telemetry::counter("opt.multistart.local_iterations");
-  static telemetry::Counter& msp_evaluations =
+  telemetry::Counter& msp_evaluations =
       telemetry::counter("opt.multistart.evaluations");
   const spans::ScopedSpan multistart_span("multistart");
 

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -25,6 +27,7 @@
 #include "common/parallel.h"
 #include "common/telemetry.h"
 #include "problems/synthetic.h"
+#include "service/session_manager.h"
 
 namespace {
 
@@ -478,6 +481,80 @@ TEST(CheckpointCorruption, RestoreRejectionLeavesNoHalfRestoredRun) {
   EXPECT_THROW(engine.restore(midRunCheckpoint(tinyMfboOptions(1), 17)),
                ContractViolation)
       << "a failed restore must not leave the engine looking fresh";
+}
+
+// --- multi-session isolation ----------------------------------------------
+
+/// One corrupted checkpoint in a shared recovery directory must poison only
+/// its own session: recovery is per-id, so the tampered session's create()
+/// is a ContractViolation and the session is not admitted, while every
+/// other session resumes from its own file and completes byte-identically
+/// to an uninterrupted run.
+TEST(CheckpointCorruption, TamperedSessionRejectsAloneOthersResume) {
+  const ScopedThreads threads(1);
+  const auto spec = [](const std::string& id, std::uint64_t seed) {
+    service::SessionSpec s;
+    s.id = id;
+    s.problem = [] {
+      return std::make_unique<problems::ConstrainedQuadraticProblem>(2);
+    };
+    s.engine = [seed](bo::Problem& problem) {
+      return std::make_unique<bo::MfboEngine>(problem, seed,
+                                              tinyMfboOptions(1));
+    };
+    return s;
+  };
+  const std::vector<std::string> ids = {"good0", "evil", "good1"};
+
+  // Uninterrupted reference results.
+  std::vector<std::string> reference;
+  {
+    service::SessionManager manager;
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      manager.create(spec(ids[i], 900 + i));
+    manager.runAll();
+    for (const std::string& id : ids)
+      reference.push_back(manager.session(id).resultJson().dump());
+  }
+
+  // Interrupted run: a few rounds, every step persisted, then "killed".
+  service::SessionManagerOptions options;
+  options.checkpoint_dir = testing::TempDir() + "mfbo_tampered_recovery";
+  std::filesystem::remove_all(options.checkpoint_dir);
+  {
+    service::SessionManager manager(options);
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      manager.create(spec(ids[i], 900 + i));
+    for (int round = 0; round < 8; ++round) manager.stepRound();
+  }
+
+  // Tamper with one session's persisted checkpoint: flip its recorded cost.
+  const std::string evil_path = options.checkpoint_dir + "/evil.ckpt.json";
+  Json evil = [&] {
+    std::ifstream in(evil_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return Json::parse(buf.str());
+  }();
+  Json engine_state = evil.at("engine");
+  engine_state.set("cost", engine_state.at("cost").asNumber() + 1.0);
+  evil.set("engine", engine_state);
+  {
+    std::ofstream out(evil_path);
+    out << evil.dump();
+  }
+
+  // Recovery: the tampered session alone is rejected and not admitted;
+  // the others restore and finish with the reference bytes.
+  service::SessionManager recovered(options);
+  recovered.create(spec(ids[0], 900));
+  EXPECT_THROW(recovered.create(spec(ids[1], 901)), ContractViolation);
+  recovered.create(spec(ids[2], 902));
+  EXPECT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered.find("evil"), nullptr);
+  recovered.runAll();
+  EXPECT_EQ(recovered.session("good0").resultJson().dump(), reference[0]);
+  EXPECT_EQ(recovered.session("good1").resultJson().dump(), reference[2]);
 }
 
 // --- committed golden fixture --------------------------------------------

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
 #include "linalg/rng.h"
@@ -96,6 +97,37 @@ TEST(MaxThreads, MalformedEnvironmentFallsBackToHardware) {
     const ScopedEnv env("MFBO_THREADS", nullptr);
     EXPECT_EQ(parallel::maxThreads(), expected);
   }
+}
+
+TEST(MaxThreads, ReconfigurationInsideAParallelRegionIsRejected) {
+  // Pool reconfiguration racing in-flight work has no sane semantics:
+  // setMaxThreads() from inside a region is a ContractViolation (thrown in
+  // the offending task, propagated by the region like any task failure),
+  // and the override in force stays untouched.
+  const ScopedThreads threads(2);
+  EXPECT_THROW(parallel::parallelFor(
+                   8, [](std::size_t) { parallel::setMaxThreads(3); }),
+               ContractViolation);
+  EXPECT_EQ(parallel::maxThreads(), 2u);
+
+  // Between regions the same call is legal and takes effect at the next
+  // region — the only supported reconfiguration point.
+  parallel::setMaxThreads(4);
+  EXPECT_EQ(parallel::maxThreads(), 4u);
+  std::atomic<std::size_t> visited{0};
+  parallel::parallelFor(64, [&](std::size_t) { visited.fetch_add(1); });
+  EXPECT_EQ(visited.load(), 64u) << "pool unusable after rejected call";
+}
+
+TEST(MaxThreads, SerialRegionAlsoRejectsReconfiguration) {
+  // The serial fast path (one thread, caller-inlined) is still "inside a
+  // region": allowing the call there would make the contract depend on the
+  // thread count.
+  const ScopedThreads threads(1);
+  EXPECT_THROW(parallel::parallelFor(
+                   4, [](std::size_t) { parallel::setMaxThreads(2); }),
+               ContractViolation);
+  EXPECT_EQ(parallel::maxThreads(), 1u);
 }
 
 TEST(MaxThreads, ZeroRestoresAutomaticResolution) {
@@ -334,6 +366,49 @@ TEST(TelemetryRace, RegistryLookupsFromWorkersAreSafe) {
   for (int k = 0; k < 7; ++k)
     total += telemetry::counter("test.parallel.reg" + std::to_string(k)).value();
   EXPECT_EQ(total, 500u);
+}
+
+// --- telemetry scope propagation -----------------------------------------
+
+TEST(TelemetryScope, WorkerBumpsLandInTheCallersScopedRegistry) {
+  // The pool forwards the submitting thread's active registry to workers
+  // per job (the metrics twin of span capture): counters bumped inside a
+  // region land in the caller's scoped registry, never the global one.
+  const ScopedThreads threads(4);
+  telemetry::MetricsRegistry mine;
+  const std::uint64_t global_before =
+      telemetry::globalMetrics().counter("test.scope.worker").value();
+  {
+    const telemetry::TelemetryScope scope(mine);
+    parallel::parallelFor(64, [](std::size_t) {
+      telemetry::counter("test.scope.worker").add();
+    });
+  }
+  EXPECT_EQ(mine.counter("test.scope.worker").value(), 64u);
+  EXPECT_EQ(telemetry::globalMetrics().counter("test.scope.worker").value(),
+            global_before);
+}
+
+TEST(TelemetryScope, WorkersRevertToTheJobsOwnerNotTheLastScope) {
+  // Two back-to-back regions under different scopes: each job carries its
+  // own registry, so a reused (persistent) worker must not leak the first
+  // job's registry into the second.
+  const ScopedThreads threads(4);
+  telemetry::MetricsRegistry first, second;
+  {
+    const telemetry::TelemetryScope scope(first);
+    parallel::parallelFor(32, [](std::size_t) {
+      telemetry::counter("test.scope.reuse").add();
+    });
+  }
+  {
+    const telemetry::TelemetryScope scope(second);
+    parallel::parallelFor(32, [](std::size_t) {
+      telemetry::counter("test.scope.reuse").add();
+    });
+  }
+  EXPECT_EQ(first.counter("test.scope.reuse").value(), 32u);
+  EXPECT_EQ(second.counter("test.scope.reuse").value(), 32u);
 }
 
 // --- Rng::split ----------------------------------------------------------

@@ -7,8 +7,10 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
 #include "bo/mfbo.h"
+#include "common/check.h"
 #include "common/memstats.h"
 #include "common/parallel.h"
 #include "common/spans.h"
@@ -249,6 +251,98 @@ TEST(SpanParallelMerge, DisabledRunRecordsNothingAcrossThreads) {
   });
   EXPECT_EQ(spans::snapshot(false).dump(), "{}");
   parallel::setMaxThreads(0);
+}
+
+// --- session arenas ------------------------------------------------------
+
+TEST_F(SpanTest, ArenaScopesKeepInterleavedSessionsSeparate) {
+  // Two arenas alternating on one thread — the session-manager pattern.
+  // Each arena accumulates only its own spans, across repeated installs.
+  spans::SpanArena a, b;
+  for (int i = 0; i < 3; ++i) {
+    {
+      const spans::ArenaScope scope(a);
+      const spans::ScopedSpan s("phase_a");
+      spans::addCounter("work_a");
+    }
+    {
+      const spans::ArenaScope scope(b);
+      const spans::ScopedSpan s("phase_b");
+    }
+  }
+  {
+    const spans::ArenaScope scope(a);
+    const Json snap = spans::snapshot(false);
+    EXPECT_EQ(snap.at("children").at("phase_a").at("count").asNumber(), 3.0);
+    EXPECT_EQ(
+        snap.at("children").at("phase_a").at("counters").at("work_a")
+            .asNumber(),
+        3.0);
+    EXPECT_FALSE(snap.at("children").contains("phase_b"));
+  }
+  {
+    const spans::ArenaScope scope(b);
+    const Json snap = spans::snapshot(false);
+    EXPECT_EQ(snap.at("children").at("phase_b").at("count").asNumber(), 3.0);
+    EXPECT_FALSE(snap.at("children").contains("phase_a"));
+  }
+  // The thread's own tree saw none of it.
+  const Json thread_snap = spans::snapshot(false);
+  EXPECT_FALSE(thread_snap.contains("children"));
+}
+
+TEST_F(SpanTest, ArenaCapturesWorkerSpansByteIdenticalAcrossThreads) {
+  // A parallel region under an installed arena: worker trees merge into
+  // the arena like they merge into a thread tree, and the result does not
+  // depend on the thread count — allocation attribution included.
+  const auto run = [](std::size_t threads) {
+    parallel::setMaxThreads(threads);
+    spans::SpanArena arena;
+    {
+      const spans::ArenaScope scope(arena);
+      const spans::ScopedSpan region("region");
+      parallel::parallelFor(16, [](std::size_t i) {
+        const spans::ScopedSpan body("body");
+        spans::addCounter("units");
+        // Deterministic per-index allocation, whichever worker runs it.
+        std::vector<double> sink(i % 4 + 1);
+        sink[0] = static_cast<double>(i);
+      });
+    }
+    std::string dump;
+    {
+      const spans::ArenaScope scope(arena);
+      dump = spans::snapshot(false).dump();
+    }
+    parallel::setMaxThreads(0);
+    return dump;
+  };
+  const std::string serial = run(1);
+  const std::string pooled = run(4);
+  EXPECT_EQ(serial, pooled);
+  EXPECT_NE(serial, "{}");
+}
+
+TEST_F(SpanTest, ArenaScopeRejectsInstallUnderAnOpenSpan) {
+  // Moving to a different tree mid-span would tear the active stack.
+  spans::SpanArena arena;
+  const spans::ScopedSpan open("open");
+  EXPECT_THROW({ const spans::ArenaScope scope(arena); },
+               ContractViolation);
+}
+
+TEST(SpanDisabled, ArenaScopeIsInertWhenProfilerIsOff) {
+  spans::setEnabled(false);
+  spans::reset();
+  spans::SpanArena arena;
+  {
+    const spans::ArenaScope scope(arena);
+    const spans::ScopedSpan s("ignored");
+  }
+  {
+    const spans::ArenaScope scope(arena);
+    EXPECT_EQ(spans::snapshot(false).dump(), "{}");
+  }
 }
 
 // --- golden schema ------------------------------------------------------

@@ -177,6 +177,76 @@ TEST(Metrics, SnapshotContainsRegisteredMetrics) {
   EXPECT_NO_THROW(Json::parse(snap.dump()));
 }
 
+// --- Scoped registries ---------------------------------------------------
+
+TEST(MetricsScope, ScopedRegistryIsolatesFromGlobal) {
+  const std::uint64_t global_before =
+      telemetry::globalMetrics().counter("test.scope.iso").value();
+  telemetry::MetricsRegistry mine;
+  {
+    const telemetry::TelemetryScope scope(mine);
+    telemetry::counter("test.scope.iso").add(3);
+    telemetry::gauge("test.scope.iso_gauge").set(1.5);
+  }
+  EXPECT_EQ(mine.counter("test.scope.iso").value(), 3u);
+  EXPECT_EQ(mine.gauge("test.scope.iso_gauge").value(), 1.5);
+  // The global registry never saw the scoped bumps, and bumps after the
+  // scope ends go back to it.
+  EXPECT_EQ(telemetry::globalMetrics().counter("test.scope.iso").value(),
+            global_before);
+  telemetry::counter("test.scope.iso").add();
+  EXPECT_EQ(telemetry::globalMetrics().counter("test.scope.iso").value(),
+            global_before + 1);
+  EXPECT_EQ(mine.counter("test.scope.iso").value(), 3u);
+}
+
+TEST(MetricsScope, ScopesNestAndRestoreExactly) {
+  telemetry::MetricsRegistry outer, inner;
+  {
+    const telemetry::TelemetryScope outer_scope(outer);
+    telemetry::counter("test.scope.nest").add();  // -> outer
+    {
+      const telemetry::TelemetryScope inner_scope(inner);
+      telemetry::counter("test.scope.nest").add();  // -> inner
+    }
+    telemetry::counter("test.scope.nest").add();  // -> outer again
+  }
+  EXPECT_EQ(outer.counter("test.scope.nest").value(), 2u);
+  EXPECT_EQ(inner.counter("test.scope.nest").value(), 1u);
+}
+
+TEST(MetricsScope, SnapshotAndResetActOnTheActiveRegistry) {
+  telemetry::MetricsRegistry mine;
+  const telemetry::TelemetryScope scope(mine);
+  telemetry::counter("test.scope.snap").add(11);
+  const Json snap = telemetry::metricsSnapshot();
+  EXPECT_EQ(snap.at("counters").at("test.scope.snap").asNumber(), 11.0);
+  // A fresh scoped registry starts empty: no cross-talk from the global
+  // registry's accumulated names.
+  EXPECT_FALSE(snap.at("counters").contains("test.metrics.snap_counter"));
+  telemetry::resetMetrics();
+  EXPECT_EQ(mine.counter("test.scope.snap").value(), 0u);
+}
+
+TEST(MetricsScope, FunctionLocalHandlesFollowTheScope) {
+  // The pattern every instrumentation site uses after the global-state
+  // sweep: look the handle up per call, never cache it in a static. Two
+  // consecutive calls under different scopes must hit different registries.
+  const auto bump = [] { telemetry::counter("test.scope.handle").add(); };
+  telemetry::MetricsRegistry a, b;
+  {
+    const telemetry::TelemetryScope scope(a);
+    bump();
+  }
+  {
+    const telemetry::TelemetryScope scope(b);
+    bump();
+    bump();
+  }
+  EXPECT_EQ(a.counter("test.scope.handle").value(), 1u);
+  EXPECT_EQ(b.counter("test.scope.handle").value(), 2u);
+}
+
 // --- Trace sinks --------------------------------------------------------
 
 TEST(Trace, DisabledByDefaultAndScopedInstall) {

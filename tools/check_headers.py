@@ -35,6 +35,7 @@ NAMESPACE_FOR_MODULE = {
     "circuit": "mfbo::circuit",
     "bo": "mfbo::bo",
     "problems": "mfbo::problems",
+    "service": "mfbo::service",
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')

@@ -267,14 +267,24 @@ def check_d005(ctx: FileContext):
             continue
         if not decl:
             continue
-        # Interned telemetry registry handles are the audited idiom:
-        # `static telemetry::Counter& c = telemetry::counter("...")` binds a
-        # reference to thread-safe registry state, it does not add state.
+        # Interned telemetry handles (`static telemetry::Counter& c = ...`)
+        # were once the documented idiom, but scoped registries made them a
+        # bug: the static binds the registry active at FIRST call forever,
+        # leaking one session's counters into every later session. They get
+        # a targeted message instead of an exemption.
         if (
             "telemetry" in words
             and any(w in _TELEMETRY_HANDLES for w in words)
             and any(d.kind == "punct" and d.value == "&" for d in decl)
         ):
+            yield Finding(
+                "D005",
+                ctx.relpath,
+                t.line,
+                f"`{t.value}` telemetry handle pins the registry active at "
+                "first call across every later TelemetryScope; look the "
+                "handle up per call (function-local reference) instead",
+            )
             continue
         yield Finding(
             "D005",

@@ -21,7 +21,7 @@ if [[ ! -d "${build_dir}" ]]; then
 fi
 cmake --build --preset release -j "$(nproc)" \
   --target micro_gp micro_parallel micro_incremental micro_batch \
-  table1_power_amplifier
+  micro_sessions table1_power_amplifier
 
 # Deterministic table artifact: --no-timing + fixed thread count makes the
 # bytes a function of the seed alone, and --spans pins the span-tree shape
@@ -45,6 +45,13 @@ cmake --build --preset release -j "$(nproc)" \
 "${build_dir}/bench/micro_batch" --quick --threads 4 --no-timing \
   --dump-checkpoint tests/fixtures/resume_fixture.json \
   --out "${out_dir}/BENCH_micro_batch.json"
+
+# Deterministic multi-session artifact: per-fleet-size results and the
+# solo-vs-concurrent identity flags are a function of the seed alone under
+# --no-timing; the wall-clock columns are zeroed, so the gate pins results
+# and scheduling shape (rounds, steps), not machine speed.
+"${build_dir}/bench/micro_sessions" --quick --threads 4 --no-timing \
+  --out "${out_dir}/BENCH_micro_sessions.json"
 
 # google-benchmark timings; the perf gate normalizes by a reference
 # benchmark (BM_Cholesky/64) to cancel absolute machine speed.
