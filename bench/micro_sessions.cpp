@@ -15,6 +15,14 @@
 //                            mid-run without any shutdown path — the
 //                            "killed process". A following invocation with
 //                            the same --checkpoint-dir completes the runs.
+//   --health FILE            write the 8-session fleet's health snapshot
+//                            (service/health.h) to FILE (JSON) and
+//                            FILE.prom (Prometheus-style exposition).
+//
+// The recovery legs run with the flight recorder in wall-clock dump mode
+// (dump_dir = the checkpoint directory, fatal-signal handler installed),
+// so a killed fleet leaves flightrec.<pid>.jsonl next to its checkpoints
+// for tools/health_validate.py.
 //
 // The binary exits 1 when any identity or recovery leg fails, so a
 // regression fails CI even without artifact validation.
@@ -29,7 +37,9 @@
 #include "bench_common.h"
 #include "bo/engine.h"
 #include "bo/mfbo.h"
+#include "common/eventlog.h"
 #include "problems/synthetic.h"
+#include "service/health.h"
 #include "service/session_manager.h"
 
 namespace {
@@ -81,9 +91,10 @@ constexpr std::size_t kRecoverySessions = 4;
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --checkpoint-dir / --kill-after-rounds are ours; strip them before the
-  // shared parser.
+  // --checkpoint-dir / --kill-after-rounds / --health are ours; strip
+  // them before the shared parser.
   std::string checkpoint_dir;
+  std::string health_path;
   long long kill_after_rounds = -1;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
@@ -93,6 +104,10 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--kill-after-rounds") == 0 && i + 1 < argc) {
       kill_after_rounds = std::atoll(argv[++i]);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--health") == 0 && i + 1 < argc) {
+      health_path = argv[++i];
       continue;
     }
     args.push_back(argv[i]);
@@ -111,6 +126,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     parallel::setMaxThreads(threads);
+    // Black-box mode for the to-be-killed fleet: wall-clock stamps, dumps
+    // next to the checkpoints, fatal signals covered. Every persist
+    // snapshots the journal, so the post-mortem window survives even a
+    // SIGKILL that no handler can see.
+    eventlog::Options journal_options;
+    journal_options.wall_clock = true;
+    journal_options.dump_dir = checkpoint_dir;
+    journal_options.install_signal_handler = true;
+    eventlog::enable(journal_options);
     service::SessionManagerOptions options;
     options.checkpoint_dir = checkpoint_dir;
     service::SessionManager manager(options);
@@ -118,6 +142,7 @@ int main(int argc, char** argv) {
       manager.create(fleetSpec(cfg, i));
     for (long long round = 0; round < kill_after_rounds; ++round)
       if (manager.stepRound() == 0) break;
+    eventlog::dumpFlightRecorder();
     std::printf("killed after %lld rounds with %zu sessions in flight\n",
                 kill_after_rounds, manager.size());
     return 0;
@@ -125,6 +150,10 @@ int main(int argc, char** argv) {
 
   std::printf("# micro_sessions: %zu-thread pool, seed %llu\n", threads,
               static_cast<unsigned long long>(cfg.seed));
+
+  // With --health the fleet runs under the deterministic-mode flight
+  // recorder so the snapshot's eventlog section carries live counters.
+  if (!health_path.empty()) eventlog::enable();
 
   // Solo references: each fleet spec run alone, serially. These are both
   // the identity baseline and the denominator for the scaling numbers.
@@ -157,6 +186,11 @@ int main(int argc, char** argv) {
     const std::size_t rounds = manager.runAll();
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
+    if (!health_path.empty() && n_sessions == kMaxSessions) {
+      service::writeHealthFiles(manager.healthJson(), health_path);
+      std::printf("health: wrote %s and %s.prom\n", health_path.c_str(),
+                  health_path.c_str());
+    }
     parallel::setMaxThreads(0);
 
     std::size_t steps_total = 0;
@@ -193,6 +227,15 @@ int main(int argc, char** argv) {
   // applies, via the resume-stable result documents.
   bool recovery_identical = true;
   if (!checkpoint_dir.empty()) {
+    // The recovering fleet runs in black-box mode too. Dump files are
+    // pid-keyed, so the killed run's window stays on disk next to the
+    // recovery run's own journal.
+    if (eventlog::enabled()) eventlog::disable();
+    eventlog::Options journal_options;
+    journal_options.wall_clock = true;
+    journal_options.dump_dir = checkpoint_dir;
+    journal_options.install_signal_handler = true;
+    eventlog::enable(journal_options);
     std::vector<std::string> reference;
     {
       parallel::setMaxThreads(1);

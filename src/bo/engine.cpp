@@ -8,6 +8,7 @@
 
 #include "bo/acquisition.h"
 #include "common/check.h"
+#include "common/eventlog.h"
 #include "common/parallel.h"
 #include "common/spans.h"
 
@@ -339,6 +340,12 @@ Engine::Engine(Problem& problem, std::uint64_t seed)
 }
 
 void Engine::transition(EngineState next) {
+  // Every state write funnels through here (lint rule E001), which makes
+  // this the one flight-recorder site for "what was the engine doing":
+  // the journal's last engine_transition names the in-flight state.
+  eventlog::record(eventlog::EventKind::kEngineTransition,
+                   engineStateName(state_), engineStateName(next),
+                   static_cast<std::int64_t>(iteration_));
   if (restoring_) {
     state_ = next;
     return;
@@ -1038,6 +1045,14 @@ ProposedSlot MfboEngine::proposeSlot(std::size_t slot_index,
     downgraded = true;
     downgrades_total.add();
   }
+  // Journal the eq. (11)/(12) outcome: the fidelity schedule is the one
+  // decision an MF-BO operator audits over time, and the trace fields
+  // alone vanish when tracing is off.
+  eventlog::record(eventlog::EventKind::kFidelityDecision,
+                   f == Fidelity::kHigh ? "high" : "low",
+                   downgraded ? "downgraded" : nullptr,
+                   static_cast<std::int64_t>(iteration_),
+                   static_cast<std::int64_t>(slot_index));
   phase_span.reset();
 
   slot.x = std::move(x_t);

@@ -112,6 +112,13 @@ class Engine {
   /// events, and the session-layer artifacts (src/service).
   const char* algo() const { return algoName(); }
 
+  /// Health-layer progress accessors (src/service/health.h): evaluation
+  /// cost charged so far, the algorithm's total budget (cost units for
+  /// MFBO, simulations for WEIBO), and completed iterations.
+  double costSpent() const { return tracker_.cost(); }
+  double costBudget() const { return budget(); }
+  std::size_t iterationCount() const { return iteration_; }
+
   /// Execute the current state's handler and advance. Not callable once
   /// Done.
   void step();

@@ -1,5 +1,7 @@
 #include "common/check.h"
 
+#include "common/eventlog.h"
+
 namespace mfbo {
 
 namespace {
@@ -22,6 +24,11 @@ namespace check_detail {
 
 void throwViolation(const char* file, long line, const char* expr,
                     const std::string& detail) {
+  // Last entry in the black box before the stack unwinds: the flight
+  // recorder journals the violation site and, when a dump directory is
+  // configured, writes the window to disk — a handler that swallows the
+  // exception (or a crash during unwind) can no longer lose the evidence.
+  eventlog::detail::noteContractViolation(file, line);
   throw ContractViolation(file, line, buildMessage(file, line, expr, detail));
 }
 

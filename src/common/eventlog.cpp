@@ -1,0 +1,493 @@
+#include "common/eventlog.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <mutex>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "common/memstats.h"
+#include "common/parallel.h"
+#include "common/spans.h"
+
+namespace mfbo {
+namespace eventlog {
+
+namespace {
+
+/// Rings readable by the dump path (including the signal handler, which
+/// cannot lock). Registration is append-only: the slot pointer is written
+/// before the release store of the count, and rings are intentionally
+/// never freed — a handler racing thread exit must not chase a dangling
+/// pointer. Threads beyond the cap still run; their events simply never
+/// reach the merged window.
+constexpr std::size_t kMaxRings = 128;
+
+struct Ring {
+  Event* slots = nullptr;
+  std::size_t capacity = 0;
+  std::atomic<std::uint64_t> head{0};     ///< events ever written
+  std::atomic<std::uint64_t> dropped{0};  ///< oldest slots overwritten
+  std::uint64_t generation = 0;           ///< enable() cycle that owns it
+};
+
+Ring* g_rings[kMaxRings];
+std::atomic<std::size_t> g_ring_count{0};
+std::mutex g_register_mu;  ///< serializes writers of g_rings; readers don't lock
+
+std::atomic<std::uint64_t> g_seq{0};
+std::atomic<std::uint64_t> g_recorded{0};
+std::atomic<std::uint64_t> g_skipped{0};
+std::atomic<std::uint64_t> g_generation{0};  ///< bumped by every enable()
+std::atomic<std::size_t> g_capacity{256};
+std::atomic<bool> g_wall{false};
+std::chrono::steady_clock::time_point g_start{};
+
+/// Pre-formatted at enable() so the signal handler never formats a path.
+char g_dump_path[512] = {0};
+bool g_handlers_installed = false;
+struct sigaction g_old_segv;
+struct sigaction g_old_abrt;
+
+thread_local Ring* t_ring = nullptr;
+thread_local char t_session[kSessionIdCap] = {0};
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - g_start)
+      .count();
+}
+
+/// The calling thread's ring, created (and registered) on first use and
+/// re-armed after every enable(). Allocation happens only here, under
+/// PauseScope: recorder memory is machinery, never workload.
+Ring* threadRing() {
+  Ring* ring = t_ring;
+  if (ring == nullptr) {
+    const memstats::PauseScope alloc_pause;
+    ring = new Ring;  // leaked by design; see kMaxRings comment
+    const std::lock_guard<std::mutex> lock(g_register_mu);
+    const std::size_t count = g_ring_count.load(std::memory_order_relaxed);
+    if (count < kMaxRings) {
+      g_rings[count] = ring;
+      g_ring_count.store(count + 1, std::memory_order_release);
+    }
+    t_ring = ring;
+  }
+  const std::uint64_t generation =
+      g_generation.load(std::memory_order_acquire);
+  if (ring->generation != generation) {
+    const memstats::PauseScope alloc_pause;
+    const std::size_t capacity = g_capacity.load(std::memory_order_relaxed);
+    if (ring->capacity != capacity) {
+      delete[] ring->slots;
+      ring->slots = new Event[capacity];
+      ring->capacity = capacity;
+    }
+    ring->head.store(0, std::memory_order_relaxed);
+    ring->dropped.store(0, std::memory_order_relaxed);
+    ring->generation = generation;
+  }
+  return ring;
+}
+
+/// Async-signal-safe buffered writer: open/write/close only — no stdio,
+/// no locks, no allocation. Everything the dump serializes (static detail
+/// strings, fixed session ids, integers) formats through here.
+struct FdWriter {
+  int fd = -1;
+  char buf[4096];
+  std::size_t len = 0;
+  bool ok = true;
+
+  void flush() {
+    std::size_t done = 0;
+    while (ok && done < len) {
+      const ssize_t wrote = ::write(fd, buf + done, len - done);
+      if (wrote < 0) {
+        ok = false;
+        break;
+      }
+      done += static_cast<std::size_t>(wrote);
+    }
+    len = 0;
+  }
+  void putChar(char c) {
+    if (len == sizeof(buf)) flush();
+    buf[len++] = c;
+  }
+  void putStr(const char* s) {
+    for (; *s != '\0'; ++s) putChar(*s);
+  }
+  void putUInt(std::uint64_t v) {
+    char digits[20];
+    std::size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) putChar(digits[--n]);
+  }
+  void putInt(std::int64_t v) {
+    if (v < 0) {
+      putChar('-');
+      // Negate via unsigned arithmetic: -INT64_MIN overflows.
+      putUInt(~static_cast<std::uint64_t>(v) + 1);
+    } else {
+      putUInt(static_cast<std::uint64_t>(v));
+    }
+  }
+  /// JSON string: quotes, backslash-escapes, \u00XX for control bytes.
+  void putQuoted(const char* s) {
+    putChar('"');
+    for (; *s != '\0'; ++s) {
+      const unsigned char c = static_cast<unsigned char>(*s);
+      if (c == '"' || c == '\\') {
+        putChar('\\');
+        putChar(static_cast<char>(c));
+      } else if (c < 0x20) {
+        putStr("\\u00");
+        const char* hex = "0123456789abcdef";
+        putChar(hex[c >> 4]);
+        putChar(hex[c & 0xf]);
+      } else {
+        putChar(static_cast<char>(c));
+      }
+    }
+    putChar('"');
+  }
+};
+
+/// Per-ring snapshot of the mergeable window. Fixed-size state only: the
+/// signal handler builds this on its stack.
+struct Cursor {
+  const Ring* ring = nullptr;
+  std::uint64_t next = 0;  ///< absolute index of the oldest unmerged event
+  std::uint64_t head = 0;
+};
+
+struct MergeState {
+  Cursor cursors[kMaxRings];
+  std::size_t n_rings = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t window = 0;  ///< total events across all windows
+};
+
+/// Snapshot every current-generation ring. Exact when recording is
+/// quiesced (deterministic mode, post-mortem); best-effort while wall-
+/// clock recording is still in flight — an event being written while the
+/// window is read may serialize torn, never crash.
+void beginMerge(MergeState& m) {
+  m.n_rings = 0;
+  m.dropped = 0;
+  m.window = 0;
+  const std::uint64_t generation =
+      g_generation.load(std::memory_order_acquire);
+  const std::size_t count = g_ring_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Ring* ring = g_rings[i];
+    if (ring == nullptr || ring->generation != generation) continue;
+    Cursor& c = m.cursors[m.n_rings++];
+    c.ring = ring;
+    c.head = ring->head.load(std::memory_order_acquire);
+    c.next = c.head > ring->capacity ? c.head - ring->capacity : 0;
+    m.dropped += ring->dropped.load(std::memory_order_relaxed);
+    m.window += c.head - c.next;
+  }
+}
+
+/// Pop the lowest-sequence event across all cursors; null when drained.
+const Event* mergeNext(MergeState& m) {
+  const Event* best = nullptr;
+  Cursor* best_cursor = nullptr;
+  for (std::size_t i = 0; i < m.n_rings; ++i) {
+    Cursor& c = m.cursors[i];
+    if (c.next >= c.head) continue;
+    const Event* e = &c.ring->slots[c.next % c.ring->capacity];
+    if (best == nullptr || e->seq < best->seq) {
+      best = e;
+      best_cursor = &c;
+    }
+  }
+  if (best_cursor != nullptr) ++best_cursor->next;
+  return best;
+}
+
+void writeEventLine(FdWriter& w, const Event& e) {
+  w.putStr("{\"seq\":");
+  w.putUInt(e.seq);
+  w.putStr(",\"kind\":");
+  w.putQuoted(kindName(e.kind));
+  if (e.session[0] != '\0') {
+    w.putStr(",\"session\":");
+    w.putQuoted(e.session);
+  }
+  if (e.a != nullptr) {
+    w.putStr(",\"a\":");
+    w.putQuoted(e.a);
+  }
+  if (e.b != nullptr) {
+    w.putStr(",\"b\":");
+    w.putQuoted(e.b);
+  }
+  w.putStr(",\"v0\":");
+  w.putInt(e.v0);
+  w.putStr(",\"v1\":");
+  w.putInt(e.v1);
+  if (e.ts_ns >= 0) {
+    w.putStr(",\"ts_ns\":");
+    w.putInt(e.ts_ns);
+  }
+  w.putStr("}\n");
+}
+
+/// The shared dump body: header line + merged event lines. Everything on
+/// this path is async-signal-safe.
+bool dumpToFd(int fd) {
+  FdWriter w;
+  w.fd = fd;
+  MergeState m;
+  beginMerge(m);
+  w.putStr("{\"format\":\"mfbo-flightrec\",\"version\":1,\"pid\":");
+  w.putInt(static_cast<std::int64_t>(::getpid()));
+  w.putStr(",\"deterministic\":");
+  w.putStr(g_wall.load(std::memory_order_relaxed) ? "false" : "true");
+  w.putStr(",\"ring_capacity\":");
+  w.putUInt(g_capacity.load(std::memory_order_relaxed));
+  w.putStr(",\"recorded\":");
+  w.putUInt(g_recorded.load(std::memory_order_relaxed));
+  w.putStr(",\"dropped\":");
+  w.putUInt(m.dropped);
+  w.putStr(",\"skipped_in_region\":");
+  w.putUInt(g_skipped.load(std::memory_order_relaxed));
+  w.putStr(",\"events\":");
+  w.putUInt(m.window);
+  w.putStr("}\n");
+  while (const Event* e = mergeNext(m)) writeEventLine(w, *e);
+  w.flush();
+  return w.ok;
+}
+
+bool dumpToPath(const char* path) {
+  if (path == nullptr || path[0] == '\0') return false;
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool ok = dumpToFd(fd);
+  return (::close(fd) == 0) && ok;
+}
+
+extern "C" void crashHandler(int sig) {
+  if (detail::g_enabled.load(std::memory_order_relaxed) &&
+      g_dump_path[0] != '\0') {
+    dumpToPath(g_dump_path);
+  }
+  // Restore the previous disposition and re-deliver: the process dies of
+  // the original signal (exit status intact) once the handler returns.
+  struct sigaction* old = sig == SIGSEGV ? &g_old_segv : &g_old_abrt;
+  ::sigaction(sig, old, nullptr);
+  ::raise(sig);
+}
+
+void installHandlers() {
+  if (g_handlers_installed) return;
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = crashHandler;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGSEGV, &action, &g_old_segv);
+  ::sigaction(SIGABRT, &action, &g_old_abrt);
+  g_handlers_installed = true;
+}
+
+void uninstallHandlers() {
+  if (!g_handlers_installed) return;
+  ::sigaction(SIGSEGV, &g_old_segv, nullptr);
+  ::sigaction(SIGABRT, &g_old_abrt, nullptr);
+  g_handlers_installed = false;
+}
+
+}  // namespace
+
+const char* kindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSessionCreate:
+      return "session_create";
+    case EventKind::kSessionStep:
+      return "session_step";
+    case EventKind::kSessionDone:
+      return "session_done";
+    case EventKind::kSessionDestroy:
+      return "session_destroy";
+    case EventKind::kEngineTransition:
+      return "engine_transition";
+    case EventKind::kFidelityDecision:
+      return "fidelity_decision";
+    case EventKind::kCheckpointPersist:
+      return "checkpoint_persist";
+    case EventKind::kCheckpointRestore:
+      return "checkpoint_restore";
+    case EventKind::kPoolDispatch:
+      return "pool_dispatch";
+    case EventKind::kContractViolation:
+      return "contract_violation";
+    case EventKind::kCustom:
+      return "custom";
+  }
+  return "unknown";
+}
+
+void enable(const Options& options) {
+  MFBO_CHECK(!enabled(), "eventlog::enable() while already enabled");
+  MFBO_CHECK(!options.install_signal_handler || !options.dump_dir.empty(),
+             "install_signal_handler requires a dump_dir");
+  const memstats::PauseScope alloc_pause;
+  std::size_t capacity = options.ring_capacity;
+  if (capacity < 8) capacity = 8;
+  if (capacity > 65536) capacity = 65536;
+  g_capacity.store(capacity, std::memory_order_relaxed);
+  g_wall.store(options.wall_clock, std::memory_order_relaxed);
+  g_seq.store(0, std::memory_order_relaxed);
+  g_recorded.store(0, std::memory_order_relaxed);
+  g_skipped.store(0, std::memory_order_relaxed);
+  g_start = std::chrono::steady_clock::now();
+  if (options.dump_dir.empty()) {
+    g_dump_path[0] = '\0';
+  } else {
+    const int n = std::snprintf(g_dump_path, sizeof(g_dump_path),
+                                "%s/flightrec.%ld.jsonl",
+                                options.dump_dir.c_str(),
+                                static_cast<long>(::getpid()));
+    MFBO_CHECK(n > 0 && static_cast<std::size_t>(n) < sizeof(g_dump_path),
+               "eventlog dump_dir path too long");
+  }
+  // New generation: every ring re-arms (reset + possible resize) on its
+  // owner thread's next record; stale-generation rings drop out of the
+  // merge window.
+  g_generation.fetch_add(1, std::memory_order_release);
+  if (options.install_signal_handler) installHandlers();
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void disable() {
+  detail::g_enabled.store(false, std::memory_order_release);
+  uninstallHandlers();
+}
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+void recordSlow(EventKind kind, const char* a, const char* b,
+                std::int64_t v0, std::int64_t v1) {
+  if (!g_wall.load(std::memory_order_relaxed) &&
+      parallel::inParallelRegion()) {
+    // Deterministic mode keeps the journal single-writer: the serial path
+    // of common/parallel.cpp marks regions identically at every thread
+    // count, so the set of skipped records — and therefore the journal
+    // bytes — is thread-count-invariant.
+    g_skipped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Ring* ring = threadRing();
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Event& slot = ring->slots[head % ring->capacity];
+  slot.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  slot.ts_ns = g_wall.load(std::memory_order_relaxed) ? nowNs() : -1;
+  slot.v0 = v0;
+  slot.v1 = v1;
+  slot.a = a;
+  slot.b = b;
+  slot.kind = kind;
+  std::memcpy(slot.session, t_session, kSessionIdCap);
+  if (head >= ring->capacity)
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+  ring->head.store(head + 1, std::memory_order_release);
+  g_recorded.fetch_add(1, std::memory_order_relaxed);
+}
+
+void noteContractViolation(const char* file, long line) {
+  if (!enabled()) return;
+  // A violation raised by the dump machinery itself must not recurse.
+  thread_local bool in_note = false;
+  if (in_note) return;
+  in_note = true;
+  record(EventKind::kContractViolation, file, nullptr,
+         static_cast<std::int64_t>(line), 0);
+  if (g_dump_path[0] != '\0') dumpFlightRecorder();
+  in_note = false;
+}
+
+}  // namespace detail
+
+ScopedSession::ScopedSession(std::string_view id) {
+  std::memcpy(saved_, t_session, kSessionIdCap);
+  const std::size_t n =
+      id.size() < kSessionIdCap - 1 ? id.size() : kSessionIdCap - 1;
+  std::memcpy(t_session, id.data(), n);
+  t_session[n] = '\0';
+}
+
+ScopedSession::~ScopedSession() {
+  std::memcpy(t_session, saved_, kSessionIdCap);
+}
+
+Stats stats() {
+  Stats s;
+  s.recorded = g_recorded.load(std::memory_order_relaxed);
+  s.skipped_in_region = g_skipped.load(std::memory_order_relaxed);
+  MergeState m;
+  beginMerge(m);
+  s.dropped = m.dropped;
+  return s;
+}
+
+Json journalJson() {
+  // Serialization is reporting, not workload: its allocations stay out of
+  // the per-span accounting, like every other snapshot path.
+  const memstats::PauseScope alloc_pause;
+  MergeState m;
+  beginMerge(m);
+  Json doc = Json::object();
+  doc.set("format", "mfbo-flightrec");
+  doc.set("version", 1);
+  doc.set("deterministic", !g_wall.load(std::memory_order_relaxed));
+  doc.set("ring_capacity", g_capacity.load(std::memory_order_relaxed));
+  doc.set("recorded", g_recorded.load(std::memory_order_relaxed));
+  doc.set("dropped", m.dropped);
+  doc.set("skipped_in_region", g_skipped.load(std::memory_order_relaxed));
+  Json events = Json::array();
+  while (const Event* e = mergeNext(m)) {
+    Json row = Json::object();
+    row.set("seq", e->seq);
+    row.set("kind", kindName(e->kind));
+    if (e->session[0] != '\0') row.set("session", e->session);
+    if (e->a != nullptr) row.set("a", e->a);
+    if (e->b != nullptr) row.set("b", e->b);
+    row.set("v0", static_cast<double>(e->v0));
+    row.set("v1", static_cast<double>(e->v1));
+    if (e->ts_ns >= 0) row.set("ts_ns", static_cast<double>(e->ts_ns));
+    events.push(std::move(row));
+  }
+  doc.set("events", std::move(events));
+  return doc;
+}
+
+bool dumpFlightRecorder() {
+  if (g_dump_path[0] == '\0') return false;
+  return dumpFlightRecorder(g_dump_path);
+}
+
+bool dumpFlightRecorder(const char* path) {
+  // The explicit (non-signal) dump is an ordinary slow path: span-covered
+  // like every other hot-path boundary, then the signal-safe writer.
+  const spans::ScopedSpan dump_span("flightrec_dump");
+  return dumpToPath(path);
+}
+
+std::string dumpPath() { return g_dump_path; }
+
+}  // namespace eventlog
+}  // namespace mfbo

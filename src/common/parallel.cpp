@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/eventlog.h"
 #include "common/memstats.h"
 #include "common/spans.h"
 #include "common/telemetry.h"
@@ -52,6 +53,16 @@ struct Job {
 
 thread_local bool t_in_region = false;
 
+// Health-layer gauges (parallel::poolStats). Relaxed atomics: totals are
+// exact, only interleaving is unordered. queue-depth is the unclaimed
+// backlog of the one job in flight (regions serialize on region_mu_), so
+// a concurrent scrape — or the flight-recorder dump of a wedged process —
+// sees how much of the current fan-out is still waiting.
+std::atomic<std::uint64_t> g_regions_total{0};
+std::atomic<std::uint64_t> g_pooled_regions{0};
+std::atomic<std::uint64_t> g_chunks_total{0};
+std::atomic<std::uint64_t> g_queue_remaining{0};
+
 /// Claim and execute chunks of @p job until the index space is exhausted.
 /// Exceptions are recorded (lowest begin index wins) and never abort the
 /// remaining chunks, so side effects stay deterministic. Returns the number
@@ -62,6 +73,7 @@ std::size_t drainJob(Job& job) {
     const std::size_t lo =
         job.next.fetch_add(job.grain, std::memory_order_relaxed);
     if (lo >= job.n) return executed;
+    g_queue_remaining.fetch_sub(1, std::memory_order_relaxed);
     const std::size_t hi = std::min(job.n, lo + job.grain);
     try {
       (*job.body)(lo, hi);
@@ -73,6 +85,7 @@ std::size_t drainJob(Job& job) {
       }
     }
     ++executed;
+    g_chunks_total.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -113,6 +126,8 @@ class Pool {
       job->chunks_total = (n + grain - 1) / grain;
       job->worker_cap = threads - 1;
       job->metrics_registry = telemetry::detail::activeRegistry();
+      g_pooled_regions.fetch_add(1, std::memory_order_relaxed);
+      g_queue_remaining.store(job->chunks_total, std::memory_order_relaxed);
 
       const std::lock_guard<std::mutex> lock(mu_);
       ensureWorkersLocked(job->worker_cap);
@@ -260,10 +275,28 @@ bool inParallelRegion() { return t_in_region; }
 
 std::size_t poolWorkers() { return Pool::instance().workers(); }
 
+PoolStats poolStats() {
+  PoolStats stats;
+  stats.workers = Pool::instance().workers();
+  stats.regions = g_regions_total.load(std::memory_order_relaxed);
+  stats.pooled_regions = g_pooled_regions.load(std::memory_order_relaxed);
+  stats.chunks = g_chunks_total.load(std::memory_order_relaxed);
+  stats.queue_depth = g_queue_remaining.load(std::memory_order_relaxed);
+  return stats;
+}
+
 void parallelForChunked(std::size_t n, std::size_t grain,
                         const RangeBody& body) {
   if (n == 0) return;
   MFBO_CHECK(grain >= 1, "grain must be >= 1");
+  // Journal the fan-out before the region flag flips: top-level regions
+  // record at every thread count (serial path included), nested ones are
+  // handled by the recorder's deterministic-mode gate — so the event
+  // stream is byte-identical at 1 and N threads.
+  eventlog::record(eventlog::EventKind::kPoolDispatch, nullptr, nullptr,
+                   static_cast<std::int64_t>(n),
+                   static_cast<std::int64_t>(grain));
+  g_regions_total.fetch_add(1, std::memory_order_relaxed);
   const std::size_t threads = maxThreads();
   if (threads <= 1 || n <= grain || t_in_region) {
     // Serial reference path: one call covering the whole range, so
@@ -280,6 +313,7 @@ void parallelForChunked(std::size_t n, std::size_t grain,
       throw;
     }
     t_in_region = was_in_region;
+    g_chunks_total.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   Pool::instance().run(n, grain, body, threads);

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <type_traits>
 #include <utility>
@@ -70,6 +71,23 @@ bool inParallelRegion();
 /// Number of pool workers currently alive (0 until the first region that
 /// actually needs the pool; lifecycle observability for tests).
 std::size_t poolWorkers();
+
+/// Point-in-time pool gauges for the service health layer
+/// (src/service/health.h). regions/chunks are cumulative totals since
+/// process start; queue_depth is the unclaimed-chunk backlog of the job
+/// in flight right now (0 between regions — the interesting reads come
+/// from a concurrent scrape or a crash dump). regions and chunks are
+/// deterministic for a fixed workload; pooled_regions and workers depend
+/// on the thread count, which is why they live here and not in an
+/// artifact.
+struct PoolStats {
+  std::size_t workers = 0;          ///< pool threads currently alive
+  std::uint64_t regions = 0;        ///< parallel regions entered (any path)
+  std::uint64_t pooled_regions = 0; ///< regions dispatched to the pool
+  std::uint64_t chunks = 0;         ///< chunks executed across all regions
+  std::uint64_t queue_depth = 0;    ///< unclaimed chunks of the live job
+};
+PoolStats poolStats();
 
 /// Run body(lo, hi) over [0, n) split into chunks of at most @p grain
 /// indices, distributed dynamically over maxThreads() threads (the caller

@@ -70,7 +70,73 @@ struct MetricsRegistry::Impl {
   Registry<Counter> counters;
   Registry<Gauge> gauges;
   Registry<Timer> timers;
+  Registry<Histogram> histograms;
 };
+
+std::size_t Histogram::bucketIndex(double seconds) {
+  // NaN and sub-minimum samples land in the underflow bucket: the
+  // comparison below is false for NaN, so only the explicit <= edge test
+  // routes — keep it first.
+  if (!(seconds > 1e-7)) return 0;
+  const double min_edge = static_cast<double>(kMinExponent);
+  const double position =
+      (std::log10(seconds) - min_edge) * kBucketsPerDecade;
+  if (position >= static_cast<double>(kBuckets - 2)) return kBuckets - 1;
+  const std::size_t idx = 1 + static_cast<std::size_t>(position);
+  return idx < kBuckets - 1 ? idx : kBuckets - 1;
+}
+
+double Histogram::bucketUpperEdge(std::size_t index) {
+  MFBO_DCHECK(index < kBuckets, "bucket index out of range");
+  if (index == 0) return 1e-7;
+  // The overflow bucket reports the last finite edge (1e3 s): a bounded
+  // answer an SLO dashboard can plot, explicitly "at least this".
+  if (index >= kBuckets - 1) index = kBuckets - 2;
+  return std::pow(
+      10.0, static_cast<double>(kMinExponent) +
+                static_cast<double>(index) /
+                    static_cast<double>(kBucketsPerDecade));
+}
+
+void Histogram::record(double seconds) {
+  counts_[bucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const double ns = seconds * 1e9;
+  const std::int64_t clamped =
+      ns > 0.0 ? static_cast<std::int64_t>(ns) : 0;
+  total_ns_.fetch_add(clamped, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::totalSeconds() const {
+  return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+double Histogram::quantileSeconds(double q) const {
+  MFBO_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const std::uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucketUpperEdge(i);
+  }
+  return bucketUpperEdge(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+}
 
 MetricsRegistry::MetricsRegistry() {
   // The registry skeleton itself is observability overhead, not workload
@@ -93,10 +159,15 @@ Timer& MetricsRegistry::timer(std::string_view name) {
   return impl_->timers.get(name);
 }
 
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return impl_->histograms.get(name);
+}
+
 void MetricsRegistry::reset() {
   impl_->counters.resetAll();
   impl_->gauges.resetAll();
   impl_->timers.resetAll();
+  impl_->histograms.resetAll();
 }
 
 Json MetricsRegistry::metricsJson(bool include_timers) const {
@@ -126,6 +197,18 @@ Json MetricsRegistry::metricsJson(bool include_timers) const {
       timer_obj.set(name, std::move(entry));
     });
     snapshot.set("timers", std::move(timer_obj));
+    Json histogram_obj = Json::object();
+    impl_->histograms.forEach(
+        [&](const std::string& name, const Histogram& h) {
+          Json entry = Json::object();
+          entry.set("count", Json::number(static_cast<double>(h.count())));
+          entry.set("total_s", Json::number(h.totalSeconds()));
+          entry.set("p50_s", Json::number(h.quantileSeconds(0.50)));
+          entry.set("p90_s", Json::number(h.quantileSeconds(0.90)));
+          entry.set("p99_s", Json::number(h.quantileSeconds(0.99)));
+          histogram_obj.set(name, std::move(entry));
+        });
+    snapshot.set("histograms", std::move(histogram_obj));
   }
   return snapshot;
 }
@@ -235,6 +318,9 @@ Gauge& gauge(std::string_view name) {
 }
 Timer& timer(std::string_view name) {
   return detail::activeRegistry()->timer(name);
+}
+Histogram& histogram(std::string_view name) {
+  return detail::activeRegistry()->histogram(name);
 }
 
 Json metricsSnapshot(bool include_timers) {

@@ -117,6 +117,47 @@ class Timer {
   std::vector<double> samples_;
 };
 
+/// Fixed-bucket log-scale latency histogram for the service health layer
+/// (src/service/health.h). Where Timer answers "how long did it take" for
+/// a run artifact, Histogram answers the operator's SLO question — p50/
+/// p90/p99 over an unbounded stream — with *bucket-exact* quantiles: the
+/// reservoir's sampling error is replaced by a fixed resolution of
+/// kBucketsPerDecade buckets per decade over [100ns, 1000s], plus an
+/// underflow and an overflow bucket. record() is lock-free (three relaxed
+/// atomic bumps, no allocation ever), so it is safe on every hot path and
+/// readable mid-flight by a health scrape. Quantiles report the upper
+/// edge of the covering bucket: deterministic for fixed counts, never
+/// underestimates the tail.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketsPerDecade = 5;
+  static constexpr int kMinExponent = -7;  ///< first edge: 1e-7 s (100 ns)
+  static constexpr int kMaxExponent = 3;   ///< last edge: 1e3 s
+  /// Log-spaced buckets plus underflow (index 0) and overflow (last).
+  static constexpr std::size_t kBuckets =
+      kBucketsPerDecade *
+          static_cast<std::size_t>(kMaxExponent - kMinExponent) +
+      2;
+
+  /// Count one observation. Negative and NaN values clamp into the
+  /// underflow bucket. Lock-free; never allocates.
+  void record(double seconds);
+  std::uint64_t count() const;
+  double totalSeconds() const;
+  /// Upper bucket edge covering the nearest-rank quantile; q in [0, 1].
+  /// 0 when nothing was recorded; overflow reports the last finite edge.
+  double quantileSeconds(double q) const;
+  void reset();
+
+ private:
+  static std::size_t bucketIndex(double seconds);
+  static double bucketUpperEdge(std::size_t index);
+
+  std::atomic<std::uint64_t> counts_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> total_ns_{0};
+};
+
 /// An isolated named-metric store. Lookups create the metric on first use
 /// and return references that stay valid for the registry's lifetime
 /// (reset() zeroes values without invalidating references). The process has
@@ -134,16 +175,19 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Timer& timer(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// Zero every registered metric (references stay valid).
   void reset();
 
   /// Serialize this registry's metrics, sorted by name:
   /// {"counters":{...},"gauges":{...},
-  ///  "timers":{name:{count,total_s,min_s,p50_s,p95_s,max_s}}}.
-  /// With include_timers=false the wall-clock "timers" section is omitted;
-  /// counters and gauges are deterministic for a fixed seed at any thread
-  /// count, so the remaining document is byte-reproducible.
+  ///  "timers":{name:{count,total_s,min_s,p50_s,p95_s,max_s}},
+  ///  "histograms":{name:{count,total_s,p50_s,p90_s,p99_s}}}.
+  /// With include_timers=false the wall-clock "timers" and "histograms"
+  /// sections are omitted; counters and gauges are deterministic for a
+  /// fixed seed at any thread count, so the remaining document is
+  /// byte-reproducible.
   Json metricsJson(bool include_timers) const;
 
  private:
@@ -201,6 +245,7 @@ MetricsRegistry* exchangeActiveRegistry(MetricsRegistry* registry);
 Counter& counter(std::string_view name);
 Gauge& gauge(std::string_view name);
 Timer& timer(std::string_view name);
+Histogram& histogram(std::string_view name);
 
 /// Serialize the active registry (MetricsRegistry::metricsJson) and append
 /// process-level observability state:
@@ -234,6 +279,24 @@ class ScopedTimer {
 
  private:
   Timer& timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII wall-clock latency sample recording into a Histogram on
+/// destruction — the SLO twin of ScopedTimer.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& h)
+      : histogram_(h), start_(std::chrono::steady_clock::now()) {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_.record(std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  Histogram& histogram_;
   std::chrono::steady_clock::time_point start_;
 };
 

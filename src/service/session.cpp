@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/eventlog.h"
 #include "common/memstats.h"
 
 namespace mfbo::service {
@@ -77,6 +78,8 @@ Session::Session(SessionSpec spec) : spec_(std::move(spec)) {
   engine_ = spec_.engine(*problem_);
   MFBO_CHECK(engine_ != nullptr, "session '", spec_.id,
              "' engine factory returned null");
+  const eventlog::ScopedSession journal_label(spec_.id);
+  eventlog::record(eventlog::EventKind::kSessionCreate, engine_->algo());
 }
 
 void Session::step() {
@@ -84,10 +87,18 @@ void Session::step() {
              sessionStatusName(status_), " session");
   const telemetry::TelemetryScope metrics_scope(metrics_);
   const spans::ArenaScope arena_scope(arena_);
+  // Journal label outlives the step body: the engine's transition and
+  // fidelity events recorded inside step() carry this session's id.
+  const eventlog::ScopedSession journal_label(spec_.id);
+  eventlog::record(eventlog::EventKind::kSessionStep, nullptr, nullptr,
+                   static_cast<std::int64_t>(steps_));
   {
     // session_step > <algo> > <phase spans>: the algo span reproduces the
     // run-span nesting of Engine::run(), so a stepped session's tree
-    // matches a solo run driven the same way.
+    // matches a solo run driven the same way. The latency sample feeds the
+    // health layer's SLO histogram (lookup per call — lint rule D005).
+    const telemetry::ScopedLatency latency(
+        telemetry::histogram("session.step_latency"));
     const spans::ScopedSpan step_span("session_step");
     const spans::ScopedSpan algo_span(engine_->algo());
     engine_->step();
@@ -140,8 +151,12 @@ void Session::restore(const Json& doc) {
   // The replay retrains surrogates; that work is this session's.
   const telemetry::TelemetryScope metrics_scope(metrics_);
   const spans::ArenaScope arena_scope(arena_);
+  const eventlog::ScopedSession journal_label(spec_.id);
   engine_->restore(doc.at("engine"));
   steps_ = static_cast<std::size_t>(steps);
+  steps_at_last_persist_ = steps_;
+  eventlog::record(eventlog::EventKind::kCheckpointRestore, "checkpoint",
+                   nullptr, static_cast<std::int64_t>(steps_));
 }
 
 void Session::adoptResult(const Json& doc) {
@@ -152,6 +167,8 @@ void Session::adoptResult(const Json& doc) {
              "session result document is missing the result payload");
   result_doc_ = doc;
   status_ = SessionStatus::kDone;
+  const eventlog::ScopedSession journal_label(spec_.id);
+  eventlog::record(eventlog::EventKind::kCheckpointRestore, "result");
 }
 
 const Json& Session::resultJson() const {
@@ -181,6 +198,41 @@ Json Session::artifactJson(bool include_timing) {
   return doc;
 }
 
+Json Session::healthJson() {
+  // A health scrape is pure reporting: no engine entry, no workload
+  // memory, readable between scheduler rounds at any time.
+  const memstats::PauseScope alloc_pause;
+  Json doc = Json::object();
+  doc.set("session", spec_.id);
+  doc.set("algo", engine_->algo());
+  doc.set("status", sessionStatusName(status_));
+  doc.set("steps", steps_);
+  doc.set("iterations", engine_->iterationCount());
+  doc.set("checkpoint_age_steps", steps_ - steps_at_last_persist_);
+  const double budget = engine_->costBudget();
+  const double spent = engine_->costSpent();
+  doc.set("cost_spent", Json::number(spent));
+  doc.set("cost_budget", Json::number(budget));
+  doc.set("budget_fraction",
+          Json::number(budget > 0.0 ? spent / budget : 0.0));
+  const telemetry::Histogram& latency =
+      metrics_.histogram("session.step_latency");
+  Json step_latency = Json::object();
+  step_latency.set("count",
+                   Json::number(static_cast<double>(latency.count())));
+  step_latency.set("total_s", Json::number(latency.totalSeconds()));
+  step_latency.set("p50_s", Json::number(latency.quantileSeconds(0.50)));
+  step_latency.set("p90_s", Json::number(latency.quantileSeconds(0.90)));
+  step_latency.set("p99_s", Json::number(latency.quantileSeconds(0.99)));
+  doc.set("step_latency", std::move(step_latency));
+  const double total_s = latency.totalSeconds();
+  doc.set("steps_per_sec",
+          Json::number(total_s > 0.0
+                           ? static_cast<double>(latency.count()) / total_s
+                           : 0.0));
+  return doc;
+}
+
 void Session::complete() {
   // Called from step() with the scopes active; result serialization is
   // reporting, not workload, so it stays out of the allocation counters.
@@ -193,6 +245,8 @@ void Session::complete() {
   result_doc_.set("algo", engine_->algo());
   result_doc_.set("result", bo::synthesisResultToJson(result));
   status_ = SessionStatus::kDone;
+  eventlog::record(eventlog::EventKind::kSessionDone, nullptr, nullptr,
+                   static_cast<std::int64_t>(steps_));
 }
 
 }  // namespace mfbo::service

@@ -111,6 +111,19 @@ class Session {
   /// count and any degree of session interleaving.
   Json artifactJson(bool include_timing);
 
+  /// Per-session SLO snapshot for the health exporter (service/health.h):
+  /// status, steps, engine progress (iterations, cost spent vs. budget),
+  /// step-latency quantiles from this session's private histogram, derived
+  /// steps/sec, and the number of steps since the last persisted boundary
+  /// (the checkpoint-age gauge). Wall-clock fields come from the latency
+  /// histogram, so the document is operator-facing, not byte-deterministic.
+  Json healthJson();
+
+  /// Mark the current step count as persisted. SessionManager calls this
+  /// after every successful persistNow(); feeds healthJson()'s
+  /// checkpoint_age_steps gauge.
+  void notePersisted() { steps_at_last_persist_ = steps_; }
+
  private:
   void complete();
 
@@ -123,6 +136,7 @@ class Session {
   std::unique_ptr<bo::Engine> engine_;
   SessionStatus status_ = SessionStatus::kRunning;
   std::size_t steps_ = 0;
+  std::size_t steps_at_last_persist_ = 0;
   Json result_doc_;
 };
 

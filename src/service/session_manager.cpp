@@ -7,7 +7,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/eventlog.h"
 #include "common/memstats.h"
+#include "common/parallel.h"
 
 namespace mfbo::service {
 
@@ -111,6 +113,7 @@ std::size_t SessionManager::stepRound() {
     ++stepped;
     persistOnSchedule(*session);
   }
+  if (stepped > 0) ++rounds_;
   return stepped;
 }
 
@@ -133,6 +136,11 @@ void SessionManager::persist(const std::string& id) {
 void SessionManager::destroy(const std::string& id) {
   for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
     if ((*it)->id() != id) continue;
+    {
+      const eventlog::ScopedSession journal_label(id);
+      eventlog::record(eventlog::EventKind::kSessionDestroy, nullptr,
+                       nullptr, static_cast<std::int64_t>((*it)->steps()));
+    }
     sessions_.erase(it);
     if (persistenceEnabled()) {
       // Destroy means "forget": a later create() of the same id must start
@@ -171,15 +179,55 @@ void SessionManager::persistNow(Session& session) {
   // the per-span accounting so checkpointed and unmonitored runs produce
   // identical session artifacts.
   const memstats::PauseScope alloc_pause;
+  const eventlog::ScopedSession journal_label(session.id());
   if (session.done()) {
     writeFileAtomic(resultPath(session.id()), session.resultJson().dump());
     // The checkpoint is superseded; removing it keeps recovery single-path
     // (result wins) and the directory tidy. It may never have existed.
     std::remove(checkpointPath(session.id()).c_str());
-    return;
+    eventlog::record(eventlog::EventKind::kCheckpointPersist, "result",
+                     nullptr, static_cast<std::int64_t>(session.steps()));
+  } else {
+    writeFileAtomic(checkpointPath(session.id()),
+                    session.checkpoint().dump());
+    eventlog::record(eventlog::EventKind::kCheckpointPersist, "checkpoint",
+                     nullptr, static_cast<std::int64_t>(session.steps()));
   }
-  writeFileAtomic(checkpointPath(session.id()),
-                  session.checkpoint().dump());
+  session.notePersisted();
+  // Snapshot the journal alongside the boundary: a fleet killed between
+  // persists still leaves its last persisted window on disk even when no
+  // signal handler got to run. No-op without a configured dump_dir.
+  eventlog::dumpFlightRecorder();
+}
+
+Json SessionManager::healthJson() {
+  const memstats::PauseScope alloc_pause;
+  Json doc = Json::object();
+  doc.set("format", "mfbo-health");
+  doc.set("version", 1);
+  doc.set("rounds", static_cast<std::size_t>(rounds_));
+  Json session_arr = Json::array();
+  for (const auto& session : sessions_)
+    session_arr.push(session->healthJson());
+  doc.set("sessions", std::move(session_arr));
+  const parallel::PoolStats pool = parallel::poolStats();
+  Json pool_obj = Json::object();
+  pool_obj.set("workers", pool.workers);
+  pool_obj.set("regions", static_cast<std::size_t>(pool.regions));
+  pool_obj.set("pooled_regions",
+               static_cast<std::size_t>(pool.pooled_regions));
+  pool_obj.set("chunks", static_cast<std::size_t>(pool.chunks));
+  pool_obj.set("queue_depth", static_cast<std::size_t>(pool.queue_depth));
+  doc.set("pool", std::move(pool_obj));
+  const eventlog::Stats journal = eventlog::stats();
+  Json journal_obj = Json::object();
+  journal_obj.set("enabled", eventlog::enabled());
+  journal_obj.set("recorded", static_cast<std::size_t>(journal.recorded));
+  journal_obj.set("dropped", static_cast<std::size_t>(journal.dropped));
+  journal_obj.set("skipped_in_region",
+                  static_cast<std::size_t>(journal.skipped_in_region));
+  doc.set("eventlog", std::move(journal_obj));
+  return doc;
 }
 
 }  // namespace mfbo::service

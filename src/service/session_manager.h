@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -88,6 +89,18 @@ class SessionManager {
   /// Remove the session and delete its recovery files.
   void destroy(const std::string& id);
 
+  /// Scheduling rounds that stepped at least one session.
+  std::uint64_t roundsCompleted() const { return rounds_; }
+
+  /// Fleet health snapshot for the service exporter (service/health.h):
+  /// {"format":"mfbo-health","version":1,"rounds":...,
+  ///  "sessions":[Session::healthJson()...],
+  ///  "pool":{workers,regions,pooled_regions,chunks,queue_depth},
+  ///  "eventlog":{enabled,recorded,dropped,skipped_in_region}}.
+  /// Operator-facing (wall-clock latency quantiles included), never part
+  /// of the byte-determinism boundary.
+  Json healthJson();
+
  private:
   Session& mustFind(const std::string& id);
   std::string checkpointPath(const std::string& id) const;
@@ -100,6 +113,7 @@ class SessionManager {
 
   SessionManagerOptions options_;
   std::vector<std::unique_ptr<Session>> sessions_;  ///< creation order
+  std::uint64_t rounds_ = 0;  ///< rounds that stepped >= 1 session
 };
 
 }  // namespace mfbo::service

@@ -1,0 +1,13 @@
+// Fixture: D002 fires — a flight-recorder-style event stamp reading the
+// wall clock in a file that is NOT in the clock allowlist. The real
+// recorder's stamp helper (src/common/eventlog.cpp) is audited; a copy
+// of it anywhere else is a determinism leak.
+#include <chrono>
+
+namespace demo {
+
+long long stampEvent() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace demo

@@ -1,0 +1,11 @@
+// Fixture: O001 fires — this file is registered for the `flightrec_dump`
+// hot path (see the test's Config), mirroring the real black-box dump
+// path in src/common/eventlog.cpp, but never opens its ScopedSpan.
+namespace demo {
+
+int dumpBlackBox(const char* path) {
+  // The dump runs unattributed: no span, no memstats, no trace entry.
+  return path != nullptr ? 0 : -1;
+}
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+// Clean by allowlist: this file stamps dump-mode events exactly like the
+// real flight recorder (src/common/eventlog.cpp), and the test's Config
+// lists it in clock_allowed — the audited D002 exemption for the
+// wall-clock dump mode must keep it silent.
+#include <chrono>
+
+namespace demo {
+
+long long dumpStamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace demo

@@ -1,0 +1,12 @@
+// Clean twin of o001_nodumpspan: the registered `flightrec_dump` span is
+// opened around the dump.
+#include "common/spans.h"
+
+namespace demo {
+
+int dumpBlackBox(const char* path) {
+  const mfbo::spans::ScopedSpan span("flightrec_dump");
+  return path != nullptr ? 0 : -1;
+}
+
+}  // namespace demo

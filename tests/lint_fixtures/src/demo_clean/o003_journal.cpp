@@ -1,0 +1,9 @@
+// Clean twin of o003_nojournal: the registered `journalHook` coupling is
+// present — every engine advance is journalled.
+namespace demo {
+
+void journalHook(int step);
+
+void advanceEngine(int step) { journalHook(step); }
+
+}  // namespace demo

@@ -25,6 +25,7 @@ from mfbo_lint.engine import LintEngine, list_rules  # noqa: E402
 EXPECTED = {
     ("D001", "src/demo/d001_random.cpp"),
     ("D002", "src/demo/d002_clock.cpp"),
+    ("D002", "src/demo/d002_dump_clock.cpp"),
     ("D003", "src/demo/d003_unordered.cpp"),
     ("D004", "src/demo/d004_thread.cpp"),
     ("D005", "src/demo/d005_static.cpp"),
@@ -32,8 +33,10 @@ EXPECTED = {
     ("E001", "src/demo/e001_sidestate.cpp"),
     ("C002", "src/demo/c002_assert.cpp"),
     ("C003", "src/demo/c003_catch.cpp"),
+    ("O001", "src/demo/o001_nodumpspan.cpp"),
     ("O001", "src/demo/o001_nospan.cpp"),
     ("O002", "src/demo/o002_unlisted.cpp"),
+    ("O003", "src/demo/o003_nojournal.cpp"),
     ("O003", "src/demo/o003_uncoupled.cpp"),
     ("S001", "src/demo/s001_stale.cpp"),
     ("S002", "src/demo/s002_malformed.cpp"),
@@ -49,6 +52,10 @@ def fixture_config() -> Config:
         hot_paths=(
             HotPath("src/demo/o001_nospan.cpp", "demo_phase"),
             HotPath("src/demo_clean/o001_span.cpp", "demo_phase"),
+            # Flight-recorder dump-path pair: registered span missing on
+            # the firing fixture, opened on the clean twin.
+            HotPath("src/demo/o001_nodumpspan.cpp", "flightrec_dump"),
+            HotPath("src/demo_clean/o001_dumpspan.cpp", "flightrec_dump"),
         ),
         couplings=(
             Coupling(
@@ -61,8 +68,23 @@ def fixture_config() -> Config:
                 "emitHook",
                 "frame close must dispatch the emit hook",
             ),
+            # Journal hook-site pair, mirroring the real eventlog
+            # couplings (kSessionStep, kPoolDispatch, ...).
+            Coupling(
+                "src/demo/o003_nojournal.cpp",
+                "journalHook",
+                "engine advances must be journalled",
+            ),
+            Coupling(
+                "src/demo_clean/o003_journal.cpp",
+                "journalHook",
+                "engine advances must be journalled",
+            ),
         ),
-        clock_allowed=("src/demo_clean/d002_exempt_recorder.cpp",),
+        clock_allowed=(
+            "src/demo_clean/d002_exempt_recorder.cpp",
+            "src/demo_clean/d002_exempt_dump.cpp",
+        ),
         engine_state_files=(
             "src/demo/e001_sidestate.cpp",
             "src/demo_clean/e001_transition.cpp",

@@ -157,7 +157,8 @@ class AppendUpsert(unittest.TestCase):
             mfbo_runs, ["report", "--index", str(self.index)]
         )
         self.assertEqual(code, 0)
-        self.assertIn("no records", out)
+        self.assertIn("no runs recorded", out)
+        self.assertIn("does not exist", out)
 
     def test_bench_filter_excludes_other_benches(self):
         self.append(artifact(), "abc1234")
@@ -166,7 +167,7 @@ class AppendUpsert(unittest.TestCase):
             ["report", "--index", str(self.index), "--bench", "ablation"],
         )
         self.assertEqual(code, 0)
-        self.assertIn("no records", out)
+        self.assertIn("no runs recorded for bench 'ablation'", out)
 
 
 class TraceValidate(unittest.TestCase):

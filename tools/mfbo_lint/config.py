@@ -65,7 +65,9 @@ class Config:
     # D002: wall-clock reads. Telemetry and the span profiler measure time
     # by design; the timeline recorder stamps trace events (its output is
     # explicitly outside the deterministic artifact contract); bench
-    # harnesses time their own repeat loops.
+    # harnesses time their own repeat loops. The flight recorder's audited
+    # exception covers one stamp helper that runs only in wall-clock dump
+    # mode — deterministic-mode journals never read a clock.
     clock_allowed: tuple[str, ...] = (
         "src/common/telemetry.h",
         "src/common/telemetry.cpp",
@@ -73,6 +75,7 @@ class Config:
         "src/common/spans.cpp",
         "src/common/timeline.h",
         "src/common/timeline.cpp",
+        "src/common/eventlog.cpp",
         "bench",
     )
 
@@ -142,6 +145,9 @@ class Config:
         # Service layer: every scheduler-driven engine advance runs under
         # the session_step span inside the session's own arena.
         HotPath("src/service/session.cpp", "session_step"),
+        # The explicit (non-signal) black-box dump path is span-covered so
+        # persist-boundary snapshots show up in traces and memstats.
+        HotPath("src/common/eventlog.cpp", "flightrec_dump"),
     )
 
     # E001: engine state-machine write sites. `state_` may be assigned only
@@ -222,6 +228,52 @@ class Config:
             "PauseScope",
             "recorder buffer growth must run under memstats::PauseScope so "
             "recording does not perturb alloc counters",
+        ),
+        # Flight-recorder hook sites: each journalled event class has one
+        # producer; deleting the call compiles but leaves the black box
+        # silent about that part of the narrative.
+        Coupling(
+            "src/common/check.cpp",
+            "noteContractViolation",
+            "contract failures must be journalled (and black-box dumped) "
+            "before the ContractViolation throw unwinds the evidence",
+        ),
+        Coupling(
+            "src/bo/engine.cpp",
+            "kEngineTransition",
+            "every engine state transition must be journalled or crash "
+            "dumps cannot identify the in-flight engine state",
+        ),
+        Coupling(
+            "src/bo/engine.cpp",
+            "kFidelityDecision",
+            "low/high fidelity decisions must be journalled — the paper's "
+            "core control signal belongs in the black box",
+        ),
+        Coupling(
+            "src/service/session.cpp",
+            "kSessionStep",
+            "every scheduled engine advance must be journalled under its "
+            "session label or dumps cannot attribute work to sessions",
+        ),
+        Coupling(
+            "src/service/session.cpp",
+            "ScopedLatency",
+            "every session step must record into the step-latency SLO "
+            "histogram or healthJson() quantiles go stale",
+        ),
+        Coupling(
+            "src/service/session_manager.cpp",
+            "dumpFlightRecorder",
+            "persist boundaries must snapshot the flight recorder so the "
+            "on-disk black box is as fresh as the newest checkpoint",
+        ),
+        Coupling(
+            "src/common/parallel.cpp",
+            "kPoolDispatch",
+            "pool dispatches must be journalled at region entry (before "
+            "the in-region flag flips) or the deterministic journal loses "
+            "every fan-out event",
         ),
     )
 

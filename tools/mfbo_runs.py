@@ -299,7 +299,15 @@ def report_command(args: argparse.Namespace) -> int:
         records = [r for r in records
                    if r.get("key", {}).get("bench") == args.bench]
     if not records:
-        print(f"_no records in {args.index}_")
+        # A fresh checkout (or a bench filter with no matches) is not an
+        # error: CI report steps must pass before the first append.
+        if not args.index.exists():
+            print(f"no runs recorded: {args.index} does not exist")
+        elif args.bench:
+            print(f"no runs recorded for bench '{args.bench}' "
+                  f"in {args.index}")
+        else:
+            print(f"no runs recorded: {args.index} is empty")
         return 0
     groups: dict[tuple, list[dict]] = {}
     for record in records:

@@ -316,6 +316,16 @@ def main() -> int:
     if args.trace is None and args.artifact is None:
         parser.error("need --trace and/or --artifact")
 
+    # Missing or empty inputs are a clean no-op, not a traceback: report
+    # steps run in CI before any bench may have produced output.
+    for path in (args.trace, args.artifact):
+        if path is None:
+            continue
+        if not path.exists() or path.stat().st_size == 0:
+            print(f"no runs recorded: {path} is "
+                  f"{'missing' if not path.exists() else 'empty'}")
+            return 0
+
     lines = ["# mfbo run report", ""]
     sources = [str(p) for p in (args.trace, args.artifact) if p]
     lines.append("Sources: " + ", ".join(f"`{s}`" for s in sources))
